@@ -1,0 +1,479 @@
+// Command comptest is the component-test tool chain of the reproduction:
+// it turns test workbooks into test-stand-independent XML scripts, lints
+// them, executes them on simulated stands with simulated ECUs, analyses
+// cross-stand reuse and regenerates the paper's tables.
+//
+// Usage:
+//
+//	comptest gen    -workbook FILE [-test NAME] [-out DIR]
+//	comptest lint   -workbook FILE
+//	comptest run    -workbook FILE [-stand NAME] [-dut NAME] [-format text|csv|xml]
+//	comptest reuse  -workbook FILE
+//	comptest tables
+//
+// Stands: paper_stand (Tables 3+4 + CAN adapter), full_lab, mini_bench,
+// hil_rack. DUTs: interior_light, central_locking, window_lifter,
+// exterior_light.
+// Without -workbook, gen/lint/run/reuse use the paper's built-in
+// interior-illumination workbook.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ecu"
+	"repro/internal/knowledge"
+	"repro/internal/lint"
+	"repro/internal/method"
+	"repro/internal/paper"
+	"repro/internal/report"
+	"repro/internal/resource"
+	"repro/internal/script"
+	"repro/internal/sheet"
+	"repro/internal/stand"
+	"repro/internal/topology"
+	"repro/internal/workbooks"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "comptest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		usage(out)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:], out)
+	case "lint":
+		return cmdLint(args[1:], out)
+	case "run":
+		return cmdRun(args[1:], out)
+	case "reuse":
+		return cmdReuse(args[1:], out)
+	case "tables":
+		return cmdTables(out)
+	case "archive":
+		return cmdArchive(args[1:], out)
+	case "transfer":
+		return cmdTransfer(args[1:], out)
+	case "help", "-h", "--help":
+		usage(out)
+		return nil
+	}
+	usage(out)
+	return fmt.Errorf("unknown subcommand %q", args[0])
+}
+
+func usage(out io.Writer) {
+	fmt.Fprintln(out, `comptest — test-stand-independent component testing (DATE 2005 reproduction)
+
+subcommands:
+  gen    -workbook FILE [-test NAME] [-out DIR]    generate XML test scripts
+  lint   -workbook FILE                            validate a workbook
+  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-format text|csv|xml]
+  reuse  [-workbook FILE]                          cross-stand reuse matrix
+  tables                                           regenerate the paper's tables
+  archive [-out FILE] [-origin NAME]               archive built-in suites as a knowledge base
+  transfer -archive FILE [-stand NAME]             which archived tests run on a stand`)
+}
+
+// loadWorkbook reads a workbook file, or the built-in one for "".
+func loadWorkbook(path, builtin string) (*core.Suite, string, error) {
+	if path == "" {
+		s, err := core.LoadSuiteString(builtin)
+		return s, "builtin", err
+	}
+	s, err := core.LoadSuiteFile(path)
+	return s, path, err
+}
+
+// builtinFor maps -dut names to their built-in workbooks.
+func builtinFor(dut string) string {
+	switch dut {
+	case "central_locking":
+		return workbooks.CentralLocking
+	case "window_lifter":
+		return workbooks.WindowLifter
+	case "exterior_light":
+		return workbooks.ExteriorLight
+	}
+	return paper.Workbook
+}
+
+func dutFor(name string) (ecu.ECU, error) {
+	switch name {
+	case "interior_light", "":
+		return ecu.NewInteriorLight(), nil
+	case "central_locking":
+		return ecu.NewCentralLocking(), nil
+	case "window_lifter":
+		return ecu.NewWindowLifter(), nil
+	case "exterior_light":
+		return ecu.NewExteriorLight(), nil
+	}
+	return nil, fmt.Errorf("unknown DUT %q (have interior_light, central_locking, window_lifter, exterior_light)", name)
+}
+
+func standFor(name string, sc *script.Script, reg *method.Registry) (stand.Config, error) {
+	h := stand.HarnessFromScript(sc)
+	switch name {
+	case "paper_stand", "":
+		return stand.PaperConfig(reg)
+	case "full_lab":
+		return stand.FullLab(reg, h)
+	case "mini_bench":
+		return stand.MiniBench(reg, h)
+	case "hil_rack":
+		return stand.HILRack(reg, h)
+	}
+	return stand.Config{}, fmt.Errorf("unknown stand %q (have paper_stand, full_lab, mini_bench, hil_rack)", name)
+}
+
+func cmdGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	workbook := fs.String("workbook", "", "workbook file (default: built-in paper workbook)")
+	test := fs.String("test", "", "generate only this test case")
+	outDir := fs.String("out", "", "write <test>.xml files here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, _, err := loadWorkbook(*workbook, paper.Workbook)
+	if err != nil {
+		return err
+	}
+	var scripts []*script.Script
+	if *test != "" {
+		sc, err := suite.GenerateScript(*test)
+		if err != nil {
+			return err
+		}
+		scripts = []*script.Script{sc}
+	} else {
+		if scripts, err = suite.GenerateScripts(); err != nil {
+			return err
+		}
+	}
+	for _, sc := range scripts {
+		if *outDir != "" {
+			path := filepath.Join(*outDir, sc.Name+".xml")
+			if err := core.WriteScriptFile(path, sc); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "wrote", path)
+			continue
+		}
+		text, err := script.EncodeString(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, text)
+	}
+	return nil
+}
+
+func cmdLint(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	workbook := fs.String("workbook", "", "workbook file (default: built-in paper workbook)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, name, err := loadWorkbook(*workbook, paper.Workbook)
+	if err != nil {
+		return err
+	}
+	// Loading already cross-validates; generation catches the remainder.
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		return err
+	}
+	for _, sc := range scripts {
+		if err := script.Validate(sc, suite.Registry); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "%s: OK — %d signals, %d statuses, %d tests, %d generated scripts\n",
+		name, suite.Signals.Len(), suite.Statuses.Len(), len(suite.Tests), len(scripts))
+	for _, f := range lint.Check(suite.Signals, suite.Statuses, suite.Tests) {
+		fmt.Fprintln(out, " ", f)
+	}
+	return nil
+}
+
+func cmdRun(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	workbook := fs.String("workbook", "", "workbook file (default: built-in workbook of the DUT)")
+	standName := fs.String("stand", "", "stand profile (default paper_stand)")
+	dutName := fs.String("dut", "", "DUT model (default interior_light)")
+	fault := fs.String("fault", "", "inject a named fault into the DUT")
+	format := fs.String("format", "text", "report format: text, csv, xml or junit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, _, err := loadWorkbook(*workbook, builtinFor(*dutName))
+	if err != nil {
+		return err
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		return err
+	}
+	dut, err := dutFor(*dutName)
+	if err != nil {
+		return err
+	}
+	if *fault != "" {
+		if err := dut.InjectFault(*fault); err != nil {
+			return err
+		}
+	}
+	cfg, err := standFor(*standName, scripts[0], suite.Registry)
+	if err != nil {
+		return err
+	}
+	st, err := stand.New(cfg, suite.Registry)
+	if err != nil {
+		return err
+	}
+	if err := st.AttachDUT(dut); err != nil {
+		return err
+	}
+	allPassed := true
+	for _, sc := range scripts {
+		rep := st.Run(sc)
+		if !rep.Passed() {
+			allPassed = false
+		}
+		switch *format {
+		case "text":
+			if err := report.WriteText(out, rep); err != nil {
+				return err
+			}
+		case "csv":
+			if err := report.WriteCSV(out, rep); err != nil {
+				return err
+			}
+		case "xml":
+			if err := report.WriteXML(out, rep); err != nil {
+				return err
+			}
+		case "junit":
+			if err := report.WriteJUnit(out, rep); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	if !allPassed {
+		return fmt.Errorf("test run FAILED")
+	}
+	return nil
+}
+
+func cmdReuse(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reuse", flag.ContinueOnError)
+	workbook := fs.String("workbook", "", "workbook file (default: built-in paper workbook)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, _, err := loadWorkbook(*workbook, paper.Workbook)
+	if err != nil {
+		return err
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		return err
+	}
+	cfgs, err := stand.Profiles(suite.Registry, stand.HarnessFromScript(scripts[0]))
+	if err != nil {
+		return err
+	}
+	m, err := core.AnalyzeReuse(scripts, cfgs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, m.String())
+	return nil
+}
+
+func cmdTables(out io.Writer) error {
+	reg := method.Builtin()
+	suite, err := core.LoadSuiteString(paper.Workbook)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== Table 1: test definition sheet (interior illumination) ==")
+	fmt.Fprint(out, renderSheet(suite.Test("InteriorIllumination").ToSheet()))
+
+	fmt.Fprintln(out, "\n== Table 2: status table ==")
+	fmt.Fprint(out, renderSheet(suite.Statuses.ToSheet("StatusDefinition")))
+
+	wb, err := sheet.ReadWorkbookString(paper.StandSheets)
+	if err != nil {
+		return err
+	}
+	cat, err := resource.ParseSheet(wb.Sheet("Resources"), reg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\n== Table 3: resource table ==")
+	fmt.Fprint(out, renderSheet(cat.ToSheet("Resources", reg)))
+
+	m, err := topology.ParseSheet(wb.Sheet("Connections"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\n== Table 4: connection matrix ==")
+	fmt.Fprint(out, renderSheet(m.ToSheet("Connections")))
+
+	fmt.Fprintln(out, "\n== Figure 1: test circuit (ASCII rendering) ==")
+	fmt.Fprint(out, m.Render())
+
+	fmt.Fprintln(out, "\n== Section 3: generated XML fragment (status Ho on int_ill) ==")
+	sc, err := suite.GenerateScript("InteriorIllumination")
+	if err != nil {
+		return err
+	}
+	text, err := script.EncodeString(sc)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		// The statement form is <signal name="int_ill"> followed by the
+		// method element; the paper prints the "Ho" check, recognisable
+		// by its (1.1*ubatt) upper limit.
+		if strings.TrimSpace(line) == `<signal name="int_ill">` && i+2 < len(lines) &&
+			strings.Contains(lines[i+1], "(1.1*ubatt)") {
+			fmt.Fprintln(out, strings.TrimSpace(line))
+			fmt.Fprintln(out, "      "+strings.TrimSpace(lines[i+1]))
+			fmt.Fprintln(out, strings.TrimSpace(lines[i+2]))
+			break
+		}
+	}
+	return nil
+}
+
+// renderSheet prints a sheet as an aligned table.
+func renderSheet(s *sheet.Sheet) string {
+	widths := make([]int, s.NumCols())
+	for r := 0; r < s.NumRows(); r++ {
+		for c, cell := range s.Row(r) {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < s.NumRows(); r++ {
+		for c, cell := range s.Row(r) {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// builtinProjects are the component families with built-in workbooks.
+var builtinProjects = []struct {
+	component string
+	workbook  string
+}{
+	{"interior_light", paper.Workbook},
+	{"central_locking", workbooks.CentralLocking},
+	{"window_lifter", workbooks.WindowLifter},
+	{"exterior_light", workbooks.ExteriorLight},
+}
+
+func cmdArchive(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("archive", flag.ContinueOnError)
+	outFile := fs.String("out", "", "write the knowledge-base XML here (default stdout)")
+	origin := fs.String("origin", "builtin", "project name recorded as the origin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := knowledge.NewBase()
+	for _, p := range builtinProjects {
+		suite, err := core.LoadSuiteString(p.workbook)
+		if err != nil {
+			return err
+		}
+		scripts, err := suite.GenerateScripts()
+		if err != nil {
+			return err
+		}
+		for _, sc := range scripts {
+			if err := base.Add(&knowledge.Entry{
+				Component: p.component, Name: sc.Name, Origin: *origin, Script: sc,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	w := out
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := knowledge.Write(w, base); err != nil {
+		return err
+	}
+	if *outFile != "" {
+		fmt.Fprintf(out, "archived %d test scripts to %s\n", base.Len(), *outFile)
+	}
+	return nil
+}
+
+func cmdTransfer(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("transfer", flag.ContinueOnError)
+	archive := fs.String("archive", "", "knowledge-base XML produced by 'comptest archive'")
+	standName := fs.String("stand", "mini_bench", "target stand profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *archive == "" {
+		return fmt.Errorf("transfer: -archive is required")
+	}
+	f, err := os.Open(*archive)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := knowledge.Read(f)
+	if err != nil {
+		return err
+	}
+	reg := method.Builtin()
+	cfg, err := standFor(*standName, &script.Script{Version: script.Version}, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "transfer analysis against %s:\n", cfg.Name)
+	for _, comp := range base.Components() {
+		ok, reasons := base.Transferable(comp, cfg.Catalog, reg)
+		fmt.Fprintf(out, "  %-16s %d/%d transferable\n", comp, len(ok), len(ok)+len(reasons))
+		for id, why := range reasons {
+			fmt.Fprintf(out, "    %-40s %s\n", id, why)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestNoArgs(t *testing.T) {
+	out, err := runCLI(t)
+	if err == nil || !strings.Contains(out, "subcommands") {
+		t.Errorf("bare invocation: %v\n%s", err, out)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if _, err := runCLI(t, "frobnicate"); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out, err := runCLI(t, "help")
+	if err != nil || !strings.Contains(out, "reuse") {
+		t.Errorf("help: %v\n%s", err, out)
+	}
+}
+
+func TestGenBuiltin(t *testing.T) {
+	out, err := runCLI(t, "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<testscript", `name="InteriorIllumination"`, `(1.1*ubatt)`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gen output lacks %q", want)
+		}
+	}
+}
+
+func TestGenToDir(t *testing.T) {
+	dir := t.TempDir()
+	out, err := runCLI(t, "gen", "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("gen -out output: %s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "InteriorIllumination.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<testscript") {
+		t.Error("script file content wrong")
+	}
+}
+
+func TestGenNamedTest(t *testing.T) {
+	if _, err := runCLI(t, "gen", "-test", "InteriorIllumination"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "gen", "-test", "Ghost"); err == nil {
+		t.Error("unknown test accepted")
+	}
+}
+
+func TestGenWorkbookFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wb.csw")
+	if err := os.WriteFile(path, []byte(paper.Workbook), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "gen", "-workbook", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "gen", "-workbook", "/no/such/file"); err == nil {
+		t.Error("missing workbook accepted")
+	}
+}
+
+func TestLint(t *testing.T) {
+	out, err := runCLI(t, "lint")
+	if err != nil || !strings.Contains(out, "OK") {
+		t.Errorf("lint: %v\n%s", err, out)
+	}
+}
+
+func TestRunDefault(t *testing.T) {
+	out, err := runCLI(t, "run")
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS: InteriorIllumination on paper_stand") {
+		t.Errorf("run output:\n%s", out)
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	out, err := runCLI(t, "run", "-format", "csv")
+	if err != nil || !strings.Contains(out, "script,stand,step") {
+		t.Errorf("csv run: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "run", "-format", "xml")
+	if err != nil || !strings.Contains(out, "<testreport") {
+		t.Errorf("xml run: %v", err)
+	}
+	if _, err := runCLI(t, "run", "-format", "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunWithFaultFails(t *testing.T) {
+	out, err := runCLI(t, "run", "-fault", "stuck_off")
+	if err == nil {
+		t.Errorf("faulty DUT passed:\n%s", out)
+	}
+	if _, err := runCLI(t, "run", "-fault", "bogus"); err == nil {
+		t.Error("unknown fault accepted")
+	}
+}
+
+func TestRunOtherDUTs(t *testing.T) {
+	for _, dut := range []string{"central_locking", "window_lifter"} {
+		out, err := runCLI(t, "run", "-dut", dut, "-stand", "full_lab")
+		if err != nil {
+			t.Errorf("%s: %v\n%s", dut, err, out)
+		}
+	}
+	if _, err := runCLI(t, "run", "-dut", "toaster"); err == nil {
+		t.Error("unknown DUT accepted")
+	}
+	if _, err := runCLI(t, "run", "-stand", "garage"); err == nil {
+		t.Error("unknown stand accepted")
+	}
+}
+
+func TestReuse(t *testing.T) {
+	out, err := runCLI(t, "reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"full_lab", "mini_bench", "hil_rack", "reuse: 100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reuse output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	out, err := runCLI(t, "tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 1", "day: no interior", "off after 300s",
+		"Table 2", "put_can", "UBATT",
+		"Table 3", "Ress1", "get_u",
+		"Table 4", "Sw1.1", "Mx4.2",
+		"Figure 1",
+		`u_max="(1.1*ubatt)"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output lacks %q", want)
+		}
+	}
+}
+
+func TestArchiveAndTransfer(t *testing.T) {
+	dir := t.TempDir()
+	archive := filepath.Join(dir, "kb.xml")
+	out, err := runCLI(t, "archive", "-out", archive, "-origin", "unit-test")
+	if err != nil || !strings.Contains(out, "archived 12 test scripts") {
+		t.Fatalf("archive: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "transfer", "-archive", archive, "-stand", "mini_bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"central_locking", "3/4 transferable", "get_t", "interior_light", "1/1 transferable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transfer output lacks %q:\n%s", want, out)
+		}
+	}
+	// Full lab takes everything.
+	out, err = runCLI(t, "transfer", "-archive", archive, "-stand", "full_lab")
+	if err != nil || strings.Contains(out, "missing methods") {
+		t.Errorf("full_lab transfer: %v\n%s", err, out)
+	}
+	// Error paths.
+	if _, err := runCLI(t, "transfer"); err == nil {
+		t.Error("transfer without -archive accepted")
+	}
+	if _, err := runCLI(t, "transfer", "-archive", "/no/such/file"); err == nil {
+		t.Error("transfer with missing archive accepted")
+	}
+}
+
+func TestArchiveToStdout(t *testing.T) {
+	out, err := runCLI(t, "archive")
+	if err != nil || !strings.Contains(out, "<knowledgebase>") {
+		t.Errorf("archive to stdout: %v", err)
+	}
+}
+
+func TestRunJUnitFormat(t *testing.T) {
+	out, err := runCLI(t, "run", "-format", "junit")
+	if err != nil || !strings.Contains(out, "<testsuite") || !strings.Contains(out, "step0/int_ill/get_u") {
+		t.Errorf("junit run: %v\n%s", err, out)
+	}
+}

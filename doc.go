@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of Brinkmeyer,
+// "A New Approach to Component Testing" (DATE 2005): a test-stand-
+// independent methodology for defining and executing component tests of
+// automotive ECUs.
+//
+// The library lives under internal/ (see DESIGN.md for the inventory),
+// the command line tool under cmd/comptest, runnable examples under
+// examples/, and bench_test.go regenerates every table and figure of the
+// paper (EXPERIMENTS.md records paper-vs-measured).
+package repro

@@ -1,0 +1,130 @@
+// Knowledgebase demonstrates the paper's motivation: "to preserve the
+// knowledge about requirements of components, including bugs that have
+// occurred in the past … so that a high percentage of [test cases] can be
+// reused in order to preserve the experience for future projects."
+//
+// The example archives the generated scripts of three component projects
+// with provenance (originating project, tags, field-bug references),
+// shows a later revision superseding an earlier one, queries the base by
+// tag and by bug reference, serialises it to XML and back, and finally
+// answers the new-project question: which archived tests can the next
+// project's mini bench run as-is?
+//
+//	go run ./examples/knowledgebase
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/knowledge"
+	"repro/internal/method"
+	"repro/internal/paper"
+	"repro/internal/stand"
+	"repro/internal/workbooks"
+)
+
+func main() {
+	base := knowledge.NewBase()
+
+	// Archive the S-class project's suites.
+	archive(base, paper.Workbook, "interior_light", "S-class 2004",
+		map[string][]string{"InteriorIllumination": {"night", "timeout"}},
+		map[string][]string{"InteriorIllumination": {"FB-2041: lamp stayed on overnight, drained battery"}})
+	archive(base, workbooks.CentralLocking, "central_locking", "S-class 2004",
+		map[string][]string{"Crash": {"safety"}, "AutoLock": {"comfort"}},
+		map[string][]string{"Crash": {"FB-1877: doors stayed locked after crash"}})
+	archive(base, workbooks.WindowLifter, "window_lifter", "S-class 2004", nil, nil)
+
+	// A later project contributes an improved interior light test.
+	suite, err := core.LoadSuiteString(paper.Workbook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := suite.GenerateScript("InteriorIllumination")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := base.Add(&knowledge.Entry{
+		Component: "interior_light", Name: "InteriorIllumination",
+		Origin: "E-class 2006", Tags: []string{"night", "timeout", "rear-doors"},
+		Script: sc,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("knowledge base: %d entries across components %v\n\n",
+		base.Len(), base.Components())
+
+	latest, _ := base.Latest("interior_light", "InteriorIllumination")
+	hist := base.History("interior_light", "InteriorIllumination")
+	fmt.Printf("lineage interior_light/InteriorIllumination: %d revisions, latest from %q\n",
+		len(hist), latest.Origin)
+
+	fmt.Println("\ntests protecting against archived field bugs:")
+	for _, ref := range []string{"FB-2041", "FB-1877"} {
+		for _, e := range base.FindBugRef(ref) {
+			fmt.Printf("  %-12s -> %s\n", ref, e.ID())
+		}
+	}
+
+	fmt.Println("\ntests tagged 'safety':")
+	for _, e := range base.FindTag("safety") {
+		fmt.Println("  " + e.ID())
+	}
+
+	// Serialise and reload — the archive is itself stand-independent XML.
+	var buf strings.Builder
+	if err := knowledge.Write(&buf, base); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := knowledge.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\narchive round trip: %d bytes XML, %d entries preserved\n",
+		buf.Len(), reloaded.Len())
+
+	// The next project's bench: which archived tests carry over?
+	reg := method.Builtin()
+	mini, err := stand.MiniBench(reg, stand.Harness{Forward: []string{"X"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntransfer analysis for the new project's mini bench:")
+	for _, comp := range reloaded.Components() {
+		ok, reasons := reloaded.Transferable(comp, mini.Catalog, reg)
+		fmt.Printf("  %-16s %d transferable", comp, len(ok))
+		if len(reasons) > 0 {
+			fmt.Print(", rejected:")
+			for id, why := range reasons {
+				fmt.Printf(" %s (%s)", id, why)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// archive generates every script of a workbook and stores it with the
+// given provenance.
+func archive(base *knowledge.Base, workbook, component, origin string,
+	tags, bugs map[string][]string) {
+	suite, err := core.LoadSuiteString(workbook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range scripts {
+		if err := base.Add(&knowledge.Entry{
+			Component: component, Name: sc.Name, Origin: origin,
+			Tags: tags[sc.Name], BugRefs: bugs[sc.Name], Script: sc,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

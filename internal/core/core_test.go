@@ -1,0 +1,379 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"os"
+
+	"repro/internal/ecu"
+	"repro/internal/method"
+	"repro/internal/paper"
+	"repro/internal/report"
+	"repro/internal/sheet"
+	"repro/internal/stand"
+	"repro/internal/workbooks"
+)
+
+func TestLoadPaperSuite(t *testing.T) {
+	suite, err := LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Signals.Len() != 7 || suite.Statuses.Len() != 7 || len(suite.Tests) != 1 {
+		t.Errorf("suite shape: %d signals, %d statuses, %d tests",
+			suite.Signals.Len(), suite.Statuses.Len(), len(suite.Tests))
+	}
+	if suite.Test("InteriorIllumination") == nil {
+		t.Error("Test lookup failed")
+	}
+	if suite.Test("ghost") != nil {
+		t.Error("ghost test found")
+	}
+}
+
+func TestLoadSuiteErrors(t *testing.T) {
+	cases := map[string]string{
+		"no signals":  "== StatusDefinition ==\nstatus;method\n",
+		"no statuses": "== SignalDefinition ==\nsignal;direction;class\n",
+		"bad init": `== SignalDefinition ==
+signal;direction;class;pin;init
+A;in;digital;A;Ho
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max
+Ho;get_u;u;UBATT;1;0,7;1,1
+== Test_X ==
+test step;dt;A
+0;1;Ho
+`,
+	}
+	for name, in := range cases {
+		if _, err := LoadSuiteString(in); err == nil {
+			t.Errorf("%s: LoadSuiteString succeeded", name)
+		}
+	}
+	if _, err := LoadSuiteFile("/nonexistent/file.csw"); err == nil {
+		t.Error("LoadSuiteFile on missing file succeeded")
+	}
+}
+
+func TestGenerateScripts(t *testing.T) {
+	suite, err := LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil || len(scripts) != 1 {
+		t.Fatalf("GenerateScripts = %v, %v", scripts, err)
+	}
+	sc, err := suite.GenerateScript("InteriorIllumination")
+	if err != nil || sc.Name != "InteriorIllumination" {
+		t.Fatalf("GenerateScript = %v, %v", sc, err)
+	}
+	if _, err := suite.GenerateScript("ghost"); err == nil {
+		t.Error("GenerateScript(ghost) succeeded")
+	}
+}
+
+func TestLoadStandConfig(t *testing.T) {
+	wb, err := sheet.ReadWorkbookString(paper.StandSheets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadStandConfig(wb, "paper", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Catalog.Len() != 3 || cfg.Matrix.Len() != 10 {
+		t.Errorf("stand config: %d resources, %d connections", cfg.Catalog.Len(), cfg.Matrix.Len())
+	}
+	// Missing sheets error.
+	wb2, _ := sheet.ReadWorkbookString("== Other ==\nx\n")
+	if _, err := LoadStandConfig(wb2, "x", 12); err == nil {
+		t.Error("stand workbook without sheets accepted")
+	}
+}
+
+func TestRunWorkbookEndToEnd(t *testing.T) {
+	// The complete paper pipeline in one call.
+	reg := method.Builtin()
+	cfg, err := stand.PaperConfig(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := RunWorkbook(paper.Workbook, cfg, func() ecu.ECU { return ecu.NewInteriorLight() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || !reps[0].Passed() {
+		t.Fatalf("pipeline run failed:\n%s", report.TextString(reps[0]))
+	}
+}
+
+func TestCentralLockingWorkbook(t *testing.T) {
+	// The "second ECU": its complete workbook loads, generates and passes
+	// on a full lab stand.
+	suite, err := LoadSuiteString(workbooks.CentralLocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Tests) != 4 {
+		t.Fatalf("tests = %d, want 4", len(suite.Tests))
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stand.HarnessFromScript(scripts[0])
+	cfg, err := stand.FullLab(suite.Registry, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stand.New(cfg, suite.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AttachDUT(ecu.NewCentralLocking()); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scripts {
+		rep := st.Run(sc)
+		if !rep.Passed() {
+			t.Errorf("central locking %s failed:\n%s", sc.Name, report.TextString(rep))
+		}
+	}
+}
+
+func TestWindowLifterWorkbook(t *testing.T) {
+	suite, err := LoadSuiteString(workbooks.WindowLifter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) != 3 {
+		t.Fatalf("scripts = %d", len(scripts))
+	}
+	h := stand.HarnessFromScript(scripts[0])
+	cfg, err := stand.FullLab(suite.Registry, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stand.New(cfg, suite.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AttachDUT(ecu.NewWindowLifter()); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scripts {
+		rep := st.Run(sc)
+		if !rep.Passed() {
+			t.Errorf("window lifter %s failed:\n%s", sc.Name, report.TextString(rep))
+		}
+	}
+}
+
+func TestCentralLockingMutants(t *testing.T) {
+	suite, err := LoadSuiteString(workbooks.CentralLocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stand.HarnessFromScript(scripts[0])
+	for _, fault := range []string{"no_autolock", "autolock_3kmh", "short_pulse", "no_status", "crash_ignored"} {
+		cfg, err := stand.FullLab(suite.Registry, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := stand.New(cfg, suite.Registry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dut := ecu.NewCentralLocking()
+		if err := dut.InjectFault(fault); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AttachDUT(dut); err != nil {
+			t.Fatal(err)
+		}
+		detected := false
+		for _, sc := range scripts {
+			if !st.Run(sc).Passed() {
+				detected = true
+			}
+		}
+		if !detected {
+			t.Errorf("central locking fault %q not detected by any test", fault)
+		}
+	}
+}
+
+func TestAnalyzeReuse(t *testing.T) {
+	suite, err := LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stand.HarnessFromScript(scripts[0])
+	cfgs, err := stand.Profiles(suite.Registry, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := AnalyzeReuse(scripts, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper test uses only put_can/put_r/get_u: runnable everywhere.
+	if m.ReusePercent() != 100 {
+		t.Errorf("paper suite reuse = %v%%, want 100\n%s", m.ReusePercent(), m)
+	}
+}
+
+func TestExecute(t *testing.T) {
+	suite, err := LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := suite.GenerateScript("InteriorIllumination")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := stand.PaperConfig(suite.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(sc, cfg, ecu.NewInteriorLight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("Execute failed:\n%s", report.TextString(rep))
+	}
+}
+
+func TestWriteScriptFile(t *testing.T) {
+	suite, err := LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := suite.GenerateScript("InteriorIllumination")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/out.xml"
+	if err := WriteScriptFile(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	suiteXML := string(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(suiteXML, "<testscript") || !strings.Contains(suiteXML, "(1.1*ubatt)") {
+		t.Errorf("script file content wrong:\n%s", suiteXML)
+	}
+}
+
+func TestExteriorLightWorkbook(t *testing.T) {
+	// The exterior light suite exercises the stand's get_f (DRL PWM) and
+	// get_r (fog relay contact) measurement paths end to end.
+	suite, err := LoadSuiteString(workbooks.ExteriorLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) != 4 {
+		t.Fatalf("scripts = %d, want 4", len(scripts))
+	}
+	h := stand.HarnessFromScript(scripts[0])
+	cfg, err := stand.FullLab(suite.Registry, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stand.New(cfg, suite.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AttachDUT(ecu.NewExteriorLight()); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scripts {
+		rep := st.Run(sc)
+		if !rep.Passed() {
+			t.Errorf("exterior light %s failed:\n%s", sc.Name, report.TextString(rep))
+		}
+	}
+}
+
+func TestExteriorLightMutants(t *testing.T) {
+	suite, err := LoadSuiteString(workbooks.ExteriorLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stand.HarnessFromScript(scripts[0])
+	for _, fault := range []string{"no_fmh", "fmh_10s", "drl_slow_pwm", "drl_at_night", "fog_stuck_open"} {
+		cfg, err := stand.FullLab(suite.Registry, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := stand.New(cfg, suite.Registry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dut := ecu.NewExteriorLight()
+		if err := dut.InjectFault(fault); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AttachDUT(dut); err != nil {
+			t.Fatal(err)
+		}
+		detected := false
+		for _, sc := range scripts {
+			if !st.Run(sc).Passed() {
+				detected = true
+			}
+		}
+		if !detected {
+			t.Errorf("exterior light fault %q not detected by any test", fault)
+		}
+	}
+}
+
+func TestLoadSuiteFromTestdataFile(t *testing.T) {
+	// The file-based workflow: the canonical workbooks also live as CSW
+	// files under testdata/ for use with `comptest -workbook`.
+	suite, err := LoadSuiteFile("../../testdata/interior_illumination.csw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Signals.Len() != 7 || len(suite.Tests) != 1 {
+		t.Errorf("file suite shape: %d signals, %d tests", suite.Signals.Len(), len(suite.Tests))
+	}
+	wb, err := sheet.ReadWorkbookFile("../../testdata/paper_stand.csw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadStandConfig(wb, "paper_file", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Catalog.Len() != 3 {
+		t.Errorf("file stand resources = %d", cfg.Catalog.Len())
+	}
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ecu"
+	"repro/internal/paper"
+	"repro/internal/stand"
+)
+
+// Example runs the complete paper pipeline: workbook → XML → stand → report.
+func Example() {
+	suite, err := core.LoadSuiteString(paper.Workbook)
+	if err != nil {
+		panic(err)
+	}
+	sc, err := suite.GenerateScript("InteriorIllumination")
+	if err != nil {
+		panic(err)
+	}
+	cfg, err := stand.PaperConfig(suite.Registry)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := core.Execute(sc, cfg, ecu.NewInteriorLight())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Summary())
+	// Output:
+	// PASS: InteriorIllumination on paper_stand: 10 checks: 10 pass, 0 fail, 0 error
+}
+
+// ExampleSuite_GenerateScript shows the paper's central transformation:
+// the status table entry "Ho" becomes symbolic limit attributes.
+func ExampleSuite_GenerateScript() {
+	suite, _ := core.LoadSuiteString(paper.Workbook)
+	sc, _ := suite.GenerateScript("InteriorIllumination")
+	// Step 4 checks INT_ILL against status "Ho".
+	for _, st := range sc.Steps[4].Signals {
+		if st.Name == "int_ill" {
+			fmt.Println(st.Call.Method, st.Call.Attrs["u_min"], st.Call.Attrs["u_max"])
+		}
+	}
+	// Output:
+	// get_u (0.7*ubatt) (1.1*ubatt)
+}

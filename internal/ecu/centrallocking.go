@@ -1,0 +1,167 @@
+package ecu
+
+import (
+	"time"
+
+	"repro/internal/analog"
+)
+
+// CentralLocking models the second of the "two ECUs of the next S-class":
+// a central locking unit.
+//
+// Requirements implemented:
+//
+//	R1  A lock request (CAN signal CL_RQ = 1) drives the lock motors with
+//	    a 500 ms pulse and sets the status signal CL_LOCKED = 1.
+//	R2  An unlock request (CL_RQ = 2) drives the unlock motors with a
+//	    500 ms pulse and clears CL_LOCKED.
+//	R3  Auto-lock: when the vehicle speed (CAN signal V_SPEED, km/h)
+//	    reaches 8 km/h and the doors are unlocked, the unit locks as in R1.
+//	R4  A crash input (low-active pin CRASH_SW) immediately unlocks and
+//	    inhibits locking while active.
+//
+// Electrical interface: motor drivers on pins LOCK_MOT and UNLOCK_MOT
+// (high-side, measurable with get_u), crash sense input CRASH_SW.
+// CAN interface: receives CL_CMD (CL_RQ bits 0..1) and VEH_DYN (V_SPEED
+// bits 0..7), transmits CL_STAT (CL_LOCKED bit 0).
+type CentralLocking struct {
+	Base
+
+	lockMot   *HighSideOutput
+	unlockMot *HighSideOutput
+	crashIn   *DigitalInput
+	rqIn      *CANIn
+	speedIn   *CANIn
+	lockedOut *CANOutput
+
+	locked     bool
+	pulseUntil time.Duration
+	pulseKind  int // 0 none, 1 lock, 2 unlock
+	prevRq     uint64
+	prevAbove  bool
+}
+
+// CentralLockingPins is the connector pinout.
+var CentralLockingPins = []string{"LOCK_MOT", "UNLOCK_MOT", "CRASH_SW"}
+
+// PulseLen is the R1/R2 motor pulse length.
+const PulseLen = 500 * time.Millisecond
+
+// AutoLockKmh is the R3 speed threshold.
+const AutoLockKmh = 8
+
+// NewCentralLocking creates the model.
+func NewCentralLocking() *CentralLocking {
+	m := &CentralLocking{}
+	m.ModelName = "central_locking"
+	m.registerFaults(
+		"no_autolock",   // R3 violated: never auto-locks
+		"autolock_3kmh", // R3 violated: locks far too early
+		"short_pulse",   // R1/R2 violated: 150 ms motor pulse
+		"no_status",     // R1/R2 violated: CL_LOCKED never updated
+		"crash_ignored", // R4 violated: crash input ignored
+	)
+	return m
+}
+
+// PinNames implements ECU.
+func (m *CentralLocking) PinNames() []string {
+	out := make([]string, len(CentralLockingPins))
+	copy(out, CentralLockingPins)
+	return out
+}
+
+// Attach implements ECU.
+func (m *CentralLocking) Attach(env *Env) error {
+	if err := m.attachBase(env); err != nil {
+		return err
+	}
+	m.lockMot = m.AddOutputHighSide("LOCK_MOT", 0.2, 1000)
+	m.unlockMot = m.AddOutputHighSide("UNLOCK_MOT", 0.2, 1000)
+	m.crashIn = m.AddInputPullUp("CRASH_SW", 1000)
+	m.rqIn = m.CANInput("CL_CMD", 0, 2, 0)
+	m.speedIn = m.CANInput("VEH_DYN", 0, 8, 0)
+	m.lockedOut = m.CANOut("CL_STAT", 0, 1)
+	m.Reset()
+	return nil
+}
+
+// Reset implements ECU.
+func (m *CentralLocking) Reset() {
+	m.locked = false
+	m.pulseUntil = 0
+	m.pulseKind = 0
+	m.prevRq = 0
+	m.prevAbove = false
+	if m.lockMot != nil {
+		m.lockMot.Set(false)
+		m.unlockMot.Set(false)
+		m.lockedOut.Set(0)
+	}
+}
+
+// Locked reports the internal lock state (for white-box tests).
+func (m *CentralLocking) Locked() bool { return m.locked }
+
+func (m *CentralLocking) startPulse(now time.Duration, kind int) {
+	length := PulseLen
+	if m.Fault("short_pulse") {
+		length = 150 * time.Millisecond
+	}
+	m.pulseKind = kind
+	m.pulseUntil = now + length
+}
+
+// Tick implements ECU.
+func (m *CentralLocking) Tick(now time.Duration, sol *analog.Solution) {
+	crash := m.crashIn.Active(sol) && !m.Fault("crash_ignored")
+
+	rq := m.rqIn.Value()
+	edge := rq != m.prevRq
+	m.prevRq = rq
+
+	if crash {
+		// R4: immediate unlock, locking inhibited.
+		if m.locked {
+			m.locked = false
+			m.startPulse(now, 2)
+		}
+	} else {
+		if edge && rq == 1 && !m.locked {
+			m.locked = true
+			m.startPulse(now, 1)
+		}
+		if edge && rq == 2 && m.locked {
+			m.locked = false
+			m.startPulse(now, 2)
+		}
+		// R3: auto-lock fires on the rising crossing of the speed
+		// threshold; a manual unlock at speed stays unlocked until the
+		// speed dips and crosses again (once per driving cycle).
+		threshold := uint64(AutoLockKmh)
+		if m.Fault("autolock_3kmh") {
+			threshold = 3
+		}
+		above := m.speedIn.Value() >= threshold
+		if !m.Fault("no_autolock") && above && !m.prevAbove && !m.locked {
+			m.locked = true
+			m.startPulse(now, 1)
+		}
+		m.prevAbove = above
+	}
+
+	if now >= m.pulseUntil {
+		m.pulseKind = 0
+	}
+	m.lockMot.Set(m.pulseKind == 1)
+	m.unlockMot.Set(m.pulseKind == 2)
+	if !m.Fault("no_status") {
+		if m.locked {
+			m.lockedOut.Set(1)
+		} else {
+			m.lockedOut.Set(0)
+		}
+	}
+}
+
+var _ ECU = (*CentralLocking)(nil)

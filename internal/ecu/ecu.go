@@ -1,0 +1,294 @@
+// Package ecu provides behavioural models of the devices under test. The
+// paper's method was "successfully applied to two ECUs of the next
+// S-class"; those ECUs are proprietary, so this package substitutes
+// executable requirement models: an interior-illumination controller
+// (the paper's Section 3 example, including the 300 s timeout), a central
+// locking unit and a window lifter. Each model senses its pins through
+// the analog network, talks CAN through the canbus substrate, and keeps
+// its timing against the discrete-event clock — so the test stand drives
+// it exactly as it would drive real hardware.
+//
+// Every model supports fault injection ("mutants"): named deviations from
+// the requirements used to demonstrate that the component tests actually
+// detect requirement violations (EXPERIMENTS.md, experiment C2).
+package ecu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/canbus"
+	"repro/internal/event"
+)
+
+// Env is everything a DUT model needs from the simulated test stand: the
+// electrical network, supply rail, CAN bus and the simulation clock.
+type Env struct {
+	Net        *analog.Network
+	Sched      *event.Scheduler
+	Bus        *canbus.Bus
+	DB         *canbus.DB
+	UbattVolts float64
+	UbattNode  analog.NodeID
+}
+
+// ECU is a device-under-test model.
+type ECU interface {
+	// Name identifies the model.
+	Name() string
+	// PinNames lists the DUT connector pins the model exposes.
+	PinNames() []string
+	// Attach wires the model into the environment. It must be called
+	// exactly once, before Reset/Tick.
+	Attach(env *Env) error
+	// Reset puts the model into its power-on state.
+	Reset()
+	// Tick runs one logic cycle: the model senses its inputs from the
+	// solved network state and updates outputs/timers. The stand calls it
+	// at the model's task rate.
+	Tick(now time.Duration, sol *analog.Solution)
+	// InjectFault activates a named requirement mutation.
+	InjectFault(name string) error
+	// FaultNames lists the supported fault injections, sorted.
+	FaultNames() []string
+}
+
+// TaskPeriod is the logic task rate of all models: 10 ms, a typical
+// body-controller cycle time.
+const TaskPeriod = 10 * time.Millisecond
+
+// ------------------------------------------------------------------ base --
+
+// Base carries the plumbing shared by all models: environment access,
+// the CAN node/monitor/transmit group and the fault registry. Concrete
+// models embed it.
+type Base struct {
+	ModelName string
+	env       *Env
+	mon       *canbus.Monitor
+	tx        *canbus.TxGroup
+	faults    map[string]bool
+	known     []string
+}
+
+// Name implements ECU.
+func (b *Base) Name() string { return b.ModelName }
+
+// Env returns the attached environment; nil before Attach.
+func (b *Base) Env() *Env { return b.env }
+
+// attachBase wires the CAN side and stores the environment.
+func (b *Base) attachBase(env *Env) error {
+	if b.env != nil {
+		return fmt.Errorf("ecu %s: Attach called twice", b.ModelName)
+	}
+	if env == nil || env.Net == nil || env.Sched == nil {
+		return fmt.Errorf("ecu %s: incomplete environment", b.ModelName)
+	}
+	b.env = env
+	if env.Bus != nil {
+		b.mon = canbus.NewMonitor()
+		node := env.Bus.Attach(b.ModelName, b.mon.Rx)
+		// ECU status frames go out every 100 ms, a typical body rate.
+		b.tx = canbus.NewTxGroup(node, env.DB, 100*time.Millisecond, env.Sched)
+	}
+	return nil
+}
+
+// registerFaults declares the supported fault names.
+func (b *Base) registerFaults(names ...string) {
+	b.faults = map[string]bool{}
+	b.known = append([]string(nil), names...)
+	sort.Strings(b.known)
+}
+
+// InjectFault implements ECU.
+func (b *Base) InjectFault(name string) error {
+	for _, k := range b.known {
+		if k == name {
+			b.faults[name] = true
+			return nil
+		}
+	}
+	return fmt.Errorf("ecu %s: unknown fault %q (have %v)", b.ModelName, name, b.known)
+}
+
+// FaultNames implements ECU.
+func (b *Base) FaultNames() []string {
+	out := make([]string, len(b.known))
+	copy(out, b.known)
+	return out
+}
+
+// Fault reports whether the named fault is active.
+func (b *Base) Fault(name string) bool { return b.faults[name] }
+
+// ClearFaults deactivates all injected faults.
+func (b *Base) ClearFaults() {
+	for k := range b.faults {
+		delete(b.faults, k)
+	}
+}
+
+// ----------------------------------------------------------- pin helpers --
+
+// DigitalInput is a low-active switch input: an internal pull-up resistor
+// to Ubatt keeps the pin high; an external resistance to ground (the
+// paper's put_r) pulls it low. Active means "pulled low".
+type DigitalInput struct {
+	node      analog.NodeID
+	env       *Env
+	threshold float64 // fraction of Ubatt below which the input is active
+}
+
+// AddInputPullUp creates a digital input on the named pin with the given
+// internal pull-up.
+func (b *Base) AddInputPullUp(pin string, pullOhms float64) *DigitalInput {
+	env := b.env
+	node := env.Net.Node(pin)
+	env.Net.AddResistor(b.ModelName+"."+pin+".pullup", env.UbattNode, node, pullOhms)
+	return &DigitalInput{node: node, env: env, threshold: 0.5}
+}
+
+// Active reports whether the input is pulled low in the given solution.
+func (d *DigitalInput) Active(sol *analog.Solution) bool {
+	return sol.Voltage(d.node) < d.threshold*d.env.UbattVolts
+}
+
+// HighSideOutput drives a pin to Ubatt through a driver resistance when
+// on; when off the pin is released and an internal pull-down defines 0 V.
+type HighSideOutput struct {
+	src *analog.VSource
+	on  bool
+}
+
+// AddOutputHighSide creates a high-side driver on the named pin.
+// driveOhms is the on-state series resistance, offPullOhms the off-state
+// pull-down.
+func (b *Base) AddOutputHighSide(pin string, driveOhms, offPullOhms float64) *HighSideOutput {
+	env := b.env
+	node := env.Net.Node(pin)
+	drv := env.Net.Node(b.ModelName + "." + pin + ".drv")
+	src := env.Net.AddVSource(b.ModelName+"."+pin+".src", drv, analog.Ground, env.UbattVolts)
+	src.SetEnabled(false)
+	env.Net.AddResistor(b.ModelName+"."+pin+".rdrv", drv, node, driveOhms)
+	env.Net.AddResistor(b.ModelName+"."+pin+".pulldown", node, analog.Ground, offPullOhms)
+	return &HighSideOutput{src: src}
+}
+
+// Set switches the driver.
+func (o *HighSideOutput) Set(on bool) {
+	if o.on != on {
+		o.on = on
+		o.src.SetEnabled(on)
+	}
+}
+
+// On reports the driver state.
+func (o *HighSideOutput) On() bool { return o.on }
+
+// AddReturnPin ties a return/ground pin (e.g. the paper's INT_ILL_R) to
+// ground through a small harness resistance.
+func (b *Base) AddReturnPin(pin string) {
+	env := b.env
+	env.Net.AddResistor(b.ModelName+"."+pin+".ret", env.Net.Node(pin), analog.Ground, 0.01)
+}
+
+// ------------------------------------------------------------ CAN helpers --
+
+// CANIn reads one received CAN signal, latching the last value.
+type CANIn struct {
+	base    *Base
+	message string
+	start   int
+	length  int
+	def     uint64
+}
+
+// CANInput declares a received CAN signal with a default used until the
+// first frame arrives.
+func (b *Base) CANInput(message string, start, length int, def uint64) *CANIn {
+	if b.env != nil && b.env.DB != nil {
+		_, _ = b.env.DB.Ensure(message)
+	}
+	return &CANIn{base: b, message: message, start: start, length: length, def: def}
+}
+
+// Value returns the latched signal value.
+func (c *CANIn) Value() uint64 {
+	if c.base.mon == nil || c.base.env == nil || c.base.env.DB == nil {
+		return c.def
+	}
+	v, err := c.base.mon.Signal(c.base.env.DB, c.message, c.start, c.length)
+	if err != nil {
+		return c.def
+	}
+	return v
+}
+
+// CANOutput sends one transmitted CAN signal through the model's periodic
+// transmit group.
+type CANOutput struct {
+	base    *Base
+	message string
+	start   int
+	length  int
+	last    uint64
+	sent    bool
+}
+
+// CANOut declares a transmitted CAN signal.
+func (b *Base) CANOut(message string, start, length int) *CANOutput {
+	if b.env != nil && b.env.DB != nil {
+		_, _ = b.env.DB.Ensure(message)
+	}
+	return &CANOutput{base: b, message: message, start: start, length: length}
+}
+
+// Set updates the signal; unchanged values are not retransmitted (the
+// periodic group keeps them alive).
+func (c *CANOutput) Set(v uint64) {
+	if c.sent && c.last == v {
+		return
+	}
+	c.last, c.sent = v, true
+	if c.base.tx != nil {
+		_ = c.base.tx.SetSignal(c.message, c.start, c.length, v)
+	}
+}
+
+// ----------------------------------------------------------------- extras --
+
+// openCircuit is the resistance of an open contact.
+func openCircuit() float64 { return math.Inf(1) }
+
+// Ticker drives a model at its task rate on the scheduler, solving the
+// network before every tick. It is what the stand uses internally; tests
+// can use it directly.
+type Ticker struct {
+	stop func()
+	err  error
+}
+
+// StartTicker begins periodic Tick calls for the model.
+func StartTicker(e ECU, env *Env) *Ticker {
+	t := &Ticker{}
+	t.stop = env.Sched.Every(TaskPeriod, func() {
+		sol, err := env.Net.Solve()
+		if err != nil {
+			t.err = err
+			return
+		}
+		e.Tick(env.Sched.Now(), sol)
+	})
+	return t
+}
+
+// Err returns the first solve error seen, if any.
+func (t *Ticker) Err() error { return t.err }
+
+// Stop ends the periodic ticking.
+func (t *Ticker) Stop() { t.stop() }

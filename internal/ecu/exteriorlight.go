@@ -1,0 +1,147 @@
+package ecu
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/analog"
+)
+
+// ExteriorLight models a fourth body ECU used by the extended test
+// suites: an exterior light controller. It deliberately exercises the
+// measurement methods the interior-light example does not: the daytime
+// running light is a PWM output (checked with get_f) and the rear fog
+// lamp is driven through a relay contact (checked with get_r).
+//
+// Requirements implemented:
+//
+//	R1  LIGHT_SW = 2 (low beam) with ignition on drives LB_OUT.
+//	R2  Daytime running light: with ignition on, at day, and the low
+//	    beam off, DRL_OUT emits 25 Hz PWM (the simulated dimming
+//	    modulation); at night or with low beam on, DRL is off.
+//	R3  Follow-me-home: when the ignition turns off at night, the low
+//	    beam stays on for 30 s.
+//	R4  The rear fog relay contact (REAR_FOG to ground) closes while
+//	    FOG_SW is set and the low beam is on.
+type ExteriorLight struct {
+	Base
+
+	lb      *HighSideOutput
+	drl     *HighSideOutput
+	fogRel  *analog.Resistor
+	swIn    *CANIn
+	ignIn   *CANIn
+	nightIn *CANIn
+	fogIn   *CANIn
+
+	prevIgn  bool
+	fmhUntil time.Duration
+}
+
+// ExteriorLightPins is the connector pinout.
+var ExteriorLightPins = []string{"LB_OUT", "DRL_OUT", "REAR_FOG"}
+
+// DRL PWM parameters: 25 Hz, 50 % duty, realised on the 10 ms task grid.
+const (
+	DRLPeriod = 40 * time.Millisecond
+	// FMHTime is the R3 follow-me-home duration.
+	FMHTime = 30 * time.Second
+	// FogContactOhms is the closed relay contact resistance.
+	FogContactOhms = 0.5
+)
+
+// NewExteriorLight creates the model.
+func NewExteriorLight() *ExteriorLight {
+	m := &ExteriorLight{}
+	m.ModelName = "exterior_light"
+	m.registerFaults(
+		"no_fmh",         // R3 violated: no follow-me-home
+		"fmh_10s",        // R3 violated: times out far too early
+		"drl_slow_pwm",   // R2 violated: 10 Hz instead of 25 Hz
+		"drl_at_night",   // R2 violated: DRL also runs at night
+		"fog_stuck_open", // R4 violated: relay never closes
+	)
+	return m
+}
+
+// PinNames implements ECU.
+func (m *ExteriorLight) PinNames() []string {
+	out := make([]string, len(ExteriorLightPins))
+	copy(out, ExteriorLightPins)
+	return out
+}
+
+// Attach implements ECU.
+func (m *ExteriorLight) Attach(env *Env) error {
+	if err := m.attachBase(env); err != nil {
+		return err
+	}
+	m.lb = m.AddOutputHighSide("LB_OUT", 0.1, 1000)
+	m.drl = m.AddOutputHighSide("DRL_OUT", 0.1, 1000)
+	m.fogRel = env.Net.AddResistor(m.ModelName+".fog_contact",
+		env.Net.Node("REAR_FOG"), analog.Ground, math.Inf(1))
+	// CAN packing: EXT_CMD bits 0-1 LIGHT_SW, 2 IGN, 3 NIGHT, 4 FOG_SW.
+	m.swIn = m.CANInput("EXT_CMD", 0, 2, 0)
+	m.ignIn = m.CANInput("EXT_CMD", 2, 1, 0)
+	m.nightIn = m.CANInput("EXT_CMD", 3, 1, 0)
+	m.fogIn = m.CANInput("EXT_CMD", 4, 1, 0)
+	m.Reset()
+	return nil
+}
+
+// Reset implements ECU.
+func (m *ExteriorLight) Reset() {
+	m.prevIgn = false
+	m.fmhUntil = 0
+	if m.lb != nil {
+		m.lb.Set(false)
+		m.drl.Set(false)
+		m.fogRel.SetOhms(math.Inf(1))
+	}
+}
+
+// Tick implements ECU.
+func (m *ExteriorLight) Tick(now time.Duration, sol *analog.Solution) {
+	ign := m.ignIn.Value() == 1
+	night := m.nightIn.Value() == 1
+	lowBeamSelected := m.swIn.Value() == 2
+
+	// R3: follow-me-home arms on the ignition falling edge at night.
+	if m.prevIgn && !ign && night && !m.Fault("no_fmh") {
+		d := FMHTime
+		if m.Fault("fmh_10s") {
+			d = 10 * time.Second
+		}
+		m.fmhUntil = now + d
+	}
+	m.prevIgn = ign
+
+	lbOn := (lowBeamSelected && ign) || now < m.fmhUntil
+	m.lb.Set(lbOn)
+
+	// R2: DRL PWM.
+	drlActive := ign && !night && !lbOn
+	if m.Fault("drl_at_night") {
+		drlActive = ign && !lbOn
+	}
+	if drlActive {
+		period := DRLPeriod
+		if m.Fault("drl_slow_pwm") {
+			period = 100 * time.Millisecond
+		}
+		phase := now % period
+		m.drl.Set(phase < period/2)
+	} else {
+		m.drl.Set(false)
+	}
+
+	// R4: rear fog relay.
+	fogOn := m.fogIn.Value() == 1 && lbOn && !m.Fault("fog_stuck_open")
+	if fogOn {
+		m.fogRel.SetOhms(FogContactOhms)
+	} else {
+		m.fogRel.SetOhms(math.Inf(1))
+	}
+}
+
+var _ ECU = (*ExteriorLight)(nil)

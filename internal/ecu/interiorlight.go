@@ -1,0 +1,152 @@
+package ecu
+
+import (
+	"time"
+
+	"repro/internal/analog"
+)
+
+// InteriorLight models the paper's Section 3 example: "The behaviour of
+// the signal INT_ILL (interior illumination) is described as a function
+// of the signals IGN_ST (ignition status), DS_FL (door switch front
+// left), DS_FR (door switch front right) and the bit NIGHT, coming from a
+// light sensor. If the bit NIGHT is active, the interior illumination is
+// lit for a maximum duration of 300 s, if one of the doors is open, what
+// is indicated by an 'Open' status of the door switch."
+//
+// Requirements implemented:
+//
+//	R1  The lamp is off while NIGHT is inactive (day).
+//	R2  At night the lamp is on while at least one door is open.
+//	R3  The on-time per door-opening is limited to 300 s; the timer starts
+//	    at the opening edge and a new opening restarts it.
+//	R4  Closing all doors switches the lamp off immediately.
+//
+// Electrical interface (matching the paper's figure): door switches
+// DS_FL/FR/RL/RR are low-active inputs with internal pull-ups; the lamp
+// output is a high-side driver on pin INT_ILL_F with the return line
+// INT_ILL_R tied to ground.
+type InteriorLight struct {
+	Base
+
+	doors   [4]*DigitalInput
+	lamp    *HighSideOutput
+	ignIn   *CANIn
+	nightIn *CANIn
+
+	prevOpen  bool
+	openSince time.Duration
+	lampOn    bool
+}
+
+// InteriorLightPins is the connector pinout, matching the paper's
+// connection matrix columns.
+var InteriorLightPins = []string{"INT_ILL_F", "INT_ILL_R", "DS_FL", "DS_FR", "DS_RL", "DS_RR"}
+
+// Timeout is the R3 illumination limit.
+const Timeout = 300 * time.Second
+
+// NewInteriorLight creates the model.
+func NewInteriorLight() *InteriorLight {
+	m := &InteriorLight{}
+	m.ModelName = "interior_light"
+	m.registerFaults(
+		"timeout_200s",    // R3 violated: lamp times out after 200 s
+		"no_timeout",      // R3 violated: lamp never times out
+		"ignore_night",    // R1 violated: lamp also lights at day
+		"only_fl",         // R2 violated: only the front-left door is evaluated
+		"stuck_off",       // R2 violated: lamp never lights
+		"no_close_off",    // R4 violated: lamp stays on after closing until timeout
+		"inverted_output", // output driver polarity inverted
+	)
+	return m
+}
+
+// PinNames implements ECU.
+func (m *InteriorLight) PinNames() []string {
+	out := make([]string, len(InteriorLightPins))
+	copy(out, InteriorLightPins)
+	return out
+}
+
+// Attach implements ECU.
+func (m *InteriorLight) Attach(env *Env) error {
+	if err := m.attachBase(env); err != nil {
+		return err
+	}
+	for i, pin := range []string{"DS_FL", "DS_FR", "DS_RL", "DS_RR"} {
+		m.doors[i] = m.AddInputPullUp(pin, 1000)
+	}
+	m.lamp = m.AddOutputHighSide("INT_ILL_F", 0.1, 1000)
+	m.AddReturnPin("INT_ILL_R")
+	// CAN packing follows the paper example's signal definition sheet:
+	// IGN_ST = BCM_STAT bits 0..3, NIGHT = BCM_STAT bit 4.
+	m.ignIn = m.CANInput("BCM_STAT", 0, 4, 1) // default: ignition off (status 0001B)
+	m.nightIn = m.CANInput("BCM_STAT", 4, 1, 0)
+	m.Reset()
+	return nil
+}
+
+// Reset implements ECU.
+func (m *InteriorLight) Reset() {
+	m.prevOpen = false
+	m.openSince = 0
+	m.lampOn = false
+	if m.lamp != nil {
+		m.lamp.Set(false)
+	}
+}
+
+// DoorOpen reports whether door i (0=FL, 1=FR, 2=RL, 3=RR) reads open.
+func (m *InteriorLight) DoorOpen(sol *analog.Solution, i int) bool {
+	return m.doors[i].Active(sol)
+}
+
+// LampOn reports the commanded lamp state (for white-box tests).
+func (m *InteriorLight) LampOn() bool { return m.lampOn }
+
+// Tick implements ECU.
+func (m *InteriorLight) Tick(now time.Duration, sol *analog.Solution) {
+	anyOpen := false
+	for i := range m.doors {
+		if m.Fault("only_fl") && i != 0 {
+			continue
+		}
+		if m.doors[i].Active(sol) {
+			anyOpen = true
+		}
+	}
+	if anyOpen && !m.prevOpen {
+		m.openSince = now // R3: timer starts at the opening edge
+	}
+	m.prevOpen = anyOpen
+
+	night := m.nightIn.Value() == 1
+	if m.Fault("ignore_night") {
+		night = true
+	}
+
+	timeout := Timeout
+	if m.Fault("timeout_200s") {
+		timeout = 200 * time.Second
+	}
+	withinTime := now-m.openSince < timeout
+	if m.Fault("no_timeout") {
+		withinTime = true
+	}
+
+	on := night && anyOpen && withinTime
+	if m.Fault("no_close_off") {
+		on = night && withinTime && (anyOpen || m.lampOn)
+	}
+	if m.Fault("stuck_off") {
+		on = false
+	}
+	m.lampOn = on
+	if m.Fault("inverted_output") {
+		on = !on
+	}
+	m.lamp.Set(on)
+}
+
+var _ ECU = (*InteriorLight)(nil)

@@ -1,0 +1,151 @@
+package ecu
+
+import (
+	"time"
+
+	"repro/internal/analog"
+)
+
+// WindowLifter models a third body ECU used by the extended examples: a
+// door window lifter with a travel limit and a switch interlock.
+//
+// Requirements implemented:
+//
+//	R1  While the UP switch (low-active pin SW_UP) is pressed alone, the
+//	    up motor output MOT_UP drives.
+//	R2  While the DOWN switch is pressed alone, MOT_DOWN drives.
+//	R3  Travel limit: continuous motion in one direction stops after 4 s
+//	    (end stop reached); releasing the switch re-arms the limit.
+//	R4  Interlock: if both switches are pressed, both motors stop.
+//	R5  Thermal protection: after 30 s of accumulated motor-on time the
+//	    motors are inhibited for 60 s.
+type WindowLifter struct {
+	Base
+
+	swUp    *DigitalInput
+	swDown  *DigitalInput
+	motUp   *HighSideOutput
+	motDown *HighSideOutput
+
+	moveStart  time.Duration
+	moving     int // 0 none, +1 up, -1 down
+	motorOnAcc time.Duration
+	inhibitTil time.Duration
+	lastTick   time.Duration
+}
+
+// WindowLifterPins is the connector pinout.
+var WindowLifterPins = []string{"SW_UP", "SW_DOWN", "MOT_UP", "MOT_DOWN"}
+
+// TravelLimit is the R3 continuous-motion limit.
+const TravelLimit = 4 * time.Second
+
+// ThermalBudget and ThermalCooldown define R5.
+const (
+	ThermalBudget   = 30 * time.Second
+	ThermalCooldown = 60 * time.Second
+)
+
+// NewWindowLifter creates the model.
+func NewWindowLifter() *WindowLifter {
+	m := &WindowLifter{}
+	m.ModelName = "window_lifter"
+	m.registerFaults(
+		"no_interlock", // R4 violated: both motors drive together
+		"travel_8s",    // R3 violated: end stop detected far too late
+		"no_thermal",   // R5 violated: no thermal protection
+		"stuck_up",     // MOT_UP permanently on
+	)
+	return m
+}
+
+// PinNames implements ECU.
+func (m *WindowLifter) PinNames() []string {
+	out := make([]string, len(WindowLifterPins))
+	copy(out, WindowLifterPins)
+	return out
+}
+
+// Attach implements ECU.
+func (m *WindowLifter) Attach(env *Env) error {
+	if err := m.attachBase(env); err != nil {
+		return err
+	}
+	m.swUp = m.AddInputPullUp("SW_UP", 1000)
+	m.swDown = m.AddInputPullUp("SW_DOWN", 1000)
+	m.motUp = m.AddOutputHighSide("MOT_UP", 0.2, 1000)
+	m.motDown = m.AddOutputHighSide("MOT_DOWN", 0.2, 1000)
+	m.Reset()
+	return nil
+}
+
+// Reset implements ECU.
+func (m *WindowLifter) Reset() {
+	m.moveStart = 0
+	m.moving = 0
+	m.motorOnAcc = 0
+	m.inhibitTil = 0
+	m.lastTick = 0
+	if m.motUp != nil {
+		m.motUp.Set(false)
+		m.motDown.Set(false)
+	}
+}
+
+// Tick implements ECU.
+func (m *WindowLifter) Tick(now time.Duration, sol *analog.Solution) {
+	dt := now - m.lastTick
+	m.lastTick = now
+
+	up := m.swUp.Active(sol)
+	down := m.swDown.Active(sol)
+
+	want := 0
+	switch {
+	case up && down:
+		if m.Fault("no_interlock") {
+			want = +1 // R4 violated: up wins and both drive below
+		}
+	case up:
+		want = +1
+	case down:
+		want = -1
+	}
+
+	if want != m.moving {
+		m.moving = want
+		m.moveStart = now
+	}
+
+	limit := TravelLimit
+	if m.Fault("travel_8s") {
+		limit = 8 * time.Second
+	}
+	runUp := want == +1 && now-m.moveStart < limit
+	runDown := want == -1 && now-m.moveStart < limit
+
+	// R5 thermal budget.
+	if !m.Fault("no_thermal") {
+		if now < m.inhibitTil {
+			runUp, runDown = false, false
+		} else if runUp || runDown {
+			m.motorOnAcc += dt
+			if m.motorOnAcc >= ThermalBudget {
+				m.motorOnAcc = 0
+				m.inhibitTil = now + ThermalCooldown
+				runUp, runDown = false, false
+			}
+		}
+	}
+
+	if m.Fault("no_interlock") && up && down {
+		runDown = runUp // both motors drive — the bug under test
+	}
+	if m.Fault("stuck_up") {
+		runUp = true
+	}
+	m.motUp.Set(runUp)
+	m.motDown.Set(runDown)
+}
+
+var _ ECU = (*WindowLifter)(nil)

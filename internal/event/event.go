@@ -1,0 +1,165 @@
+// Package event provides the discrete-event simulation kernel shared by
+// the simulated test stand, the CAN bus and the ECU models. It keeps a
+// virtual clock — test steps of 280 s (paper, step 7) execute in
+// microseconds of wall time — and dispatches scheduled callbacks in
+// deterministic order: primary key simulated time, secondary key
+// scheduling sequence.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled until it has fired.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+// When returns the simulated time the event fires at.
+func (e *Event) When() time.Duration { return e.at }
+
+// Scheduler owns the virtual clock and the pending event queue.
+// The zero value is ready to use, starting at time 0.
+type Scheduler struct {
+	now time.Duration
+	q   eventQueue
+	seq uint64
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.q) }
+
+// At schedules fn at absolute simulated time t. Scheduling in the past
+// (t < Now) panics: it indicates a logic error in the simulation.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("event: scheduling nil callback")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.q, e)
+	return e
+}
+
+// After schedules fn after duration d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn every period, first firing after one period. The
+// returned stop function cancels the series. A non-positive period panics.
+func (s *Scheduler) Every(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("event: non-positive period")
+	}
+	stopped := false
+	var cur *Event
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped { // fn may call stop
+			cur = s.After(period, tick)
+		}
+	}
+	cur = s.After(period, tick)
+	return func() {
+		stopped = true
+		cur.Cancel()
+	}
+}
+
+// Step fires the next pending event (advancing the clock to its time) and
+// reports whether one was fired.
+func (s *Scheduler) Step() bool {
+	for len(s.q) > 0 {
+		e := heap.Pop(&s.q).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires every event scheduled at or before t in order and then
+// advances the clock to exactly t.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	if t < s.now {
+		panic(fmt.Sprintf("event: RunUntil(%v) before now %v", t, s.now))
+	}
+	for len(s.q) > 0 && s.q[0].at <= t {
+		e := heap.Pop(&s.q).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+	}
+	s.now = t
+}
+
+// Advance is RunUntil(Now()+d).
+func (s *Scheduler) Advance(d time.Duration) { s.RunUntil(s.now + d) }
+
+// ------------------------------------------------------------------ heap --
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

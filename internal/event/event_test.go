@@ -1,0 +1,203 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBasicOrdering(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.RunUntil(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var s Scheduler
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.RunUntil(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var s Scheduler
+	s.RunUntil(5 * time.Second)
+	fired := time.Duration(-1)
+	s.After(2*time.Second, func() { fired = s.Now() })
+	s.RunUntil(10 * time.Second)
+	if fired != 7*time.Second {
+		t.Errorf("After fired at %v, want 7s", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Scheduler
+	fired := false
+	e := s.At(time.Second, func() { fired = true })
+	if !e.Scheduled() {
+		t.Error("event not scheduled")
+	}
+	e.Cancel()
+	s.RunUntil(2 * time.Second)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Scheduled() {
+		t.Error("cancelled event still Scheduled")
+	}
+	// Cancelling nil and double-cancel are no-ops.
+	var nilEv *Event
+	nilEv.Cancel()
+	e.Cancel()
+}
+
+func TestStep(t *testing.T) {
+	var s Scheduler
+	count := 0
+	s.At(time.Second, func() { count++ })
+	s.At(2*time.Second, func() { count++ })
+	if !s.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if count != 1 || s.Now() != time.Second {
+		t.Errorf("after one step: count=%d now=%v", count, s.Now())
+	}
+	if !s.Step() || s.Step() {
+		t.Error("Step count wrong")
+	}
+	if count != 2 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestStepSkipsCancelled(t *testing.T) {
+	var s Scheduler
+	e := s.At(time.Second, func() {})
+	e.Cancel()
+	if s.Step() {
+		t.Error("Step fired a cancelled event")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	var s Scheduler
+	var times []time.Duration
+	s.At(time.Second, func() {
+		times = append(times, s.Now())
+		s.After(time.Second, func() { times = append(times, s.Now()) })
+	})
+	s.RunUntil(5 * time.Second)
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	var s Scheduler
+	count := 0
+	stop := s.Every(100*time.Millisecond, func() { count++ })
+	s.RunUntil(time.Second)
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	stop()
+	s.RunUntil(2 * time.Second)
+	if count != 10 {
+		t.Errorf("count after stop = %d, want 10", count)
+	}
+}
+
+func TestEveryStopFromCallback(t *testing.T) {
+	var s Scheduler
+	count := 0
+	var stop func()
+	stop = s.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	s.RunUntil(10 * time.Second)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	var s Scheduler
+	s.RunUntil(time.Second)
+	expectPanic("past At", func() { s.At(0, func() {}) })
+	expectPanic("nil fn", func() { s.At(2*time.Second, nil) })
+	expectPanic("past RunUntil", func() { s.RunUntil(0) })
+	expectPanic("bad Every", func() { s.Every(0, func() {}) })
+}
+
+func TestPending(t *testing.T) {
+	var s Scheduler
+	if s.Pending() != 0 {
+		t.Error("fresh scheduler has pending events")
+	}
+	s.At(time.Second, func() {})
+	s.At(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.RunUntil(time.Second)
+	if s.Pending() != 1 {
+		t.Errorf("Pending after partial run = %d", s.Pending())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var s Scheduler
+	s.Advance(3 * time.Second)
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestLongHorizon(t *testing.T) {
+	// The paper's step 7 lasts 280 s; make sure long horizons with many
+	// periodic events stay exact.
+	var s Scheduler
+	count := 0
+	stop := s.Every(10*time.Millisecond, func() { count++ })
+	defer stop()
+	s.RunUntil(280 * time.Second)
+	if count != 28000 {
+		t.Errorf("count = %d, want 28000", count)
+	}
+}
+
+func TestWhen(t *testing.T) {
+	var s Scheduler
+	e := s.At(7*time.Second, func() {})
+	if e.When() != 7*time.Second {
+		t.Errorf("When = %v", e.When())
+	}
+}

@@ -1,0 +1,34 @@
+package expr_test
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Example evaluates the paper's limit expression against two stands with
+// different supply voltages — the mechanism behind test-stand
+// independence.
+func Example() {
+	limit := expr.MustCompile("(1.1*ubatt)")
+	for _, ubatt := range []float64{12, 13.5} {
+		v, err := limit.Eval(expr.MapEnv{"ubatt": ubatt})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("ubatt=%.1f -> u_max=%.2f\n", ubatt, v)
+	}
+	// Output:
+	// ubatt=12.0 -> u_max=13.20
+	// ubatt=13.5 -> u_max=14.85
+}
+
+// ExampleExpr_Vars inspects which stand variables an expression needs.
+func ExampleExpr_Vars() {
+	e := expr.MustCompile("min(u_nom, 0.9*ubatt) + offset")
+	fmt.Println(e.Vars())
+	fmt.Println(e.IsConstant())
+	// Output:
+	// [offset u_nom ubatt]
+	// false
+}

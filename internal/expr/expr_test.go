@@ -1,0 +1,231 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func eval(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	e, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestConstants(t *testing.T) {
+	cases := map[string]float64{
+		"1":          1,
+		"0.5":        0.5,
+		"0,5":        0.5,
+		"1+2":        3,
+		"2*3+4":      10,
+		"2+3*4":      14,
+		"(2+3)*4":    20,
+		"10/4":       2.5,
+		"-3":         -3,
+		"--3":        3,
+		"-(2+1)":     -3,
+		"2-3-4":      -5, // left assoc
+		"12/2/3":     2,
+		"1.5e2":      150,
+		"1,5e2":      150,
+		"INF":        math.Inf(1),
+		"-INF":       math.Inf(-1),
+		"abs(-2)":    2,
+		"min(3,1)":   1,
+		"max(3,1)":   3,
+		"sqrt(9)":    3,
+		"round(2.6)": 3,
+		"floor(2.6)": 2,
+		"ceil(2.1)":  3,
+		"min(5,2,8)": 2,
+	}
+	for src, want := range cases {
+		got := eval(t, src, MapEnv{})
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) && !(math.IsInf(got, -1) && math.IsInf(want, -1)) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestPaperLimits(t *testing.T) {
+	// The exact expressions the paper emits into the XML script.
+	env := MapEnv{"ubatt": 12.0}
+	if got := eval(t, "(1.1*ubatt)", env); math.Abs(got-13.2) > 1e-12 {
+		t.Errorf("(1.1*ubatt) = %v, want 13.2", got)
+	}
+	if got := eval(t, "(0.7*ubatt)", env); math.Abs(got-8.4) > 1e-12 {
+		t.Errorf("(0.7*ubatt) = %v, want 8.4", got)
+	}
+	// German comma spelling from the status table.
+	if got := eval(t, "1,1*UBATT", env); math.Abs(got-13.2) > 1e-12 {
+		t.Errorf("1,1*UBATT = %v, want 13.2", got)
+	}
+}
+
+func TestCaseInsensitiveVariables(t *testing.T) {
+	env := MapEnv{"ubatt": 14}
+	for _, src := range []string{"UBATT", "ubatt", "Ubatt"} {
+		if got := eval(t, src, env); got != 14 {
+			t.Errorf("%q = %v, want 14", src, got)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := MustCompile("a + 2*b + min(c, a)")
+	want := []string{"a", "b", "c"}
+	got := e.Vars()
+	if len(got) != len(want) {
+		t.Fatalf("Vars() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars() = %v, want %v", got, want)
+		}
+	}
+	if e.IsConstant() {
+		t.Error("IsConstant() = true for variable expression")
+	}
+	if !MustCompile("1+2").IsConstant() {
+		t.Error("IsConstant() = false for constant expression")
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	v, err := MustCompile("2*21").EvalConst()
+	if err != nil || v != 42 {
+		t.Errorf("EvalConst = %v, %v", v, err)
+	}
+	if _, err := MustCompile("ubatt").EvalConst(); err == nil {
+		t.Error("EvalConst on variable expression unexpectedly succeeded")
+	}
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	e := MustCompile("nope*2")
+	if _, err := e.Eval(MapEnv{}); err == nil {
+		t.Error("Eval with undefined variable unexpectedly succeeded")
+	}
+	if _, err := e.Eval(MapEnv{"nope": 1}); err != nil {
+		t.Errorf("Eval with defined variable failed: %v", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"", "1+", "(1", "1)", "*2", "1 2", "foo(", "min()", "abs(1,2)",
+		"unknownfn(1)", "1..2", "@", "a,b", "min(1;2)",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	// IEEE semantics: resistances may legitimately become infinite.
+	if got := eval(t, "1/0", MapEnv{}); !math.IsInf(got, 1) {
+		t.Errorf("1/0 = %v, want +Inf", got)
+	}
+}
+
+func TestSourceAndString(t *testing.T) {
+	e := MustCompile("(1.1*ubatt)")
+	if e.Source() != "(1.1*ubatt)" {
+		t.Errorf("Source() = %q", e.Source())
+	}
+	// Rendering re-parses to the same value.
+	r, err := Compile(e.String())
+	if err != nil {
+		t.Fatalf("re-Compile(%q): %v", e.String(), err)
+	}
+	env := MapEnv{"ubatt": 13.5}
+	a, _ := e.Eval(env)
+	b, _ := r.Eval(env)
+	if a != b {
+		t.Errorf("render round-trip changed value: %v vs %v", a, b)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile on bad input did not panic")
+		}
+	}()
+	MustCompile("((")
+}
+
+// Property: rendering any compiled expression re-parses and evaluates to
+// the same value (up to NaN).
+func TestRenderRoundTripProperty(t *testing.T) {
+	exprs := []string{
+		"1+2*3", "-(a+b)/c", "min(a,b,3)", "abs(-a)*max(1,b)",
+		"(0.7*ubatt)", "a-b-c", "a/b/c", "1,5*a",
+	}
+	env := MapEnv{"a": 2.5, "b": -3, "c": 4, "ubatt": 12}
+	for _, src := range exprs {
+		e := MustCompile(src)
+		r := MustCompile(e.String())
+		va, erra := e.Eval(env)
+		vb, errb := r.Eval(env)
+		if (erra == nil) != (errb == nil) || erra == nil && va != vb {
+			t.Errorf("%q: round-trip mismatch %v/%v (%v/%v)", src, va, vb, erra, errb)
+		}
+	}
+}
+
+// Property: scaling identity — (k*x) evaluates to k times x's value for
+// arbitrary finite inputs.
+func TestScalingProperty(t *testing.T) {
+	f := func(k, x float64) bool {
+		if math.IsNaN(k) || math.IsNaN(x) || math.IsInf(k, 0) || math.IsInf(x, 0) {
+			return true
+		}
+		e := MustCompile("k*x")
+		got, err := e.Eval(MapEnv{"k": k, "x": x})
+		return err == nil && got == k*x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unary minus is an involution.
+func TestNegationProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		e := MustCompile("-(-x)")
+		got, err := e.Eval(MapEnv{"x": x})
+		return err == nil && got == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	if got := eval(t, "  1 +\t2 * 3\n", MapEnv{}); got != 7 {
+		t.Errorf("whitespace expr = %v, want 7", got)
+	}
+}
+
+func TestLongExpression(t *testing.T) {
+	// Deep chains must not blow up.
+	src := "1" + strings.Repeat("+1", 500)
+	if got := eval(t, src, MapEnv{}); got != 501 {
+		t.Errorf("long chain = %v, want 501", got)
+	}
+}

@@ -1,0 +1,302 @@
+// Package knowledge implements the test knowledge base the paper
+// motivates: "a method is needed to preserve the knowledge about
+// requirements of components, including bugs that have occurred in the
+// past … test cases that are specified in a way so that a high
+// percentage of them can be reused in order to preserve the experience
+// for future projects."
+//
+// Because the archived artefact is the test-stand-independent XML script,
+// an entry carries provenance (originating project, component family,
+// tags, field-bug references) and a revision history; Transferable
+// answers the OEM/supplier question "which of our archived tests can the
+// new project run on its stand as-is?".
+package knowledge
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/method"
+	"repro/internal/resource"
+	"repro/internal/script"
+)
+
+// Entry is one archived test case.
+type Entry struct {
+	// Component is the component family the test belongs to
+	// (e.g. "interior_light").
+	Component string
+	// Name is the test case name; Component+Name identify a lineage,
+	// Revision counts its versions (assigned by the base, starting at 1).
+	Name     string
+	Revision int
+	// Origin names the project that contributed this revision.
+	Origin string
+	// Tags are free-form search labels ("timeout", "night", …).
+	Tags []string
+	// BugRefs reference the field bugs this test protects against — the
+	// paper's "including bugs that have occurred in the past".
+	BugRefs []string
+	// Script is the archived stand-independent artefact.
+	Script *script.Script
+}
+
+// ID returns the canonical identifier "component/name@revision".
+func (e *Entry) ID() string {
+	return fmt.Sprintf("%s/%s@%d", e.Component, e.Name, e.Revision)
+}
+
+// HasTag reports whether the entry carries the tag (case-insensitive).
+func (e *Entry) HasTag(tag string) bool {
+	for _, t := range e.Tags {
+		if strings.EqualFold(t, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Base is an ordered, revisioned collection of entries.
+type Base struct {
+	entries []*Entry
+}
+
+// NewBase returns an empty knowledge base.
+func NewBase() *Base { return &Base{} }
+
+// Len returns the number of archived entries (all revisions).
+func (b *Base) Len() int { return len(b.entries) }
+
+// Add archives an entry. Component, Name and Script are required; the
+// revision is assigned automatically (one higher than the newest
+// archived revision of the same lineage).
+func (b *Base) Add(e *Entry) error {
+	if e.Component == "" || e.Name == "" {
+		return fmt.Errorf("knowledge: entry needs component and name")
+	}
+	if e.Script == nil {
+		return fmt.Errorf("knowledge: entry %s/%s has no script", e.Component, e.Name)
+	}
+	rev := 0
+	for _, x := range b.entries {
+		if x.sameLineage(e) && x.Revision > rev {
+			rev = x.Revision
+		}
+	}
+	e.Revision = rev + 1
+	b.entries = append(b.entries, e)
+	return nil
+}
+
+func (e *Entry) sameLineage(o *Entry) bool {
+	return strings.EqualFold(e.Component, o.Component) && strings.EqualFold(e.Name, o.Name)
+}
+
+// Lookup finds an entry by canonical id.
+func (b *Base) Lookup(id string) (*Entry, bool) {
+	for _, e := range b.entries {
+		if strings.EqualFold(e.ID(), id) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Latest returns the newest revision of a lineage.
+func (b *Base) Latest(component, name string) (*Entry, bool) {
+	var best *Entry
+	for _, e := range b.entries {
+		if strings.EqualFold(e.Component, component) && strings.EqualFold(e.Name, name) {
+			if best == nil || e.Revision > best.Revision {
+				best = e
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// History returns all revisions of a lineage, oldest first.
+func (b *Base) History(component, name string) []*Entry {
+	var out []*Entry
+	for _, e := range b.entries {
+		if strings.EqualFold(e.Component, component) && strings.EqualFold(e.Name, name) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Revision < out[j].Revision })
+	return out
+}
+
+// ForComponent returns the latest revision of every lineage of a
+// component family, in archive order.
+func (b *Base) ForComponent(component string) []*Entry {
+	seen := map[string]*Entry{}
+	var order []string
+	for _, e := range b.entries {
+		if !strings.EqualFold(e.Component, component) {
+			continue
+		}
+		key := strings.ToLower(e.Name)
+		if _, ok := seen[key]; !ok {
+			order = append(order, key)
+		}
+		if cur, ok := seen[key]; !ok || e.Revision > cur.Revision {
+			seen[key] = e
+		}
+	}
+	out := make([]*Entry, 0, len(order))
+	for _, key := range order {
+		out = append(out, seen[key])
+	}
+	return out
+}
+
+// FindTag returns the latest-revision entries carrying the tag.
+func (b *Base) FindTag(tag string) []*Entry {
+	var out []*Entry
+	for _, comp := range b.Components() {
+		for _, e := range b.ForComponent(comp) {
+			if e.HasTag(tag) {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// FindBugRef returns the latest-revision entries protecting against the
+// referenced bug. Stored references may carry a description after the
+// identifier ("FB-2041: lamp stayed on overnight"); the query matches the
+// identifier part.
+func (b *Base) FindBugRef(ref string) []*Entry {
+	matches := func(stored string) bool {
+		if strings.EqualFold(stored, ref) {
+			return true
+		}
+		if len(stored) > len(ref) && strings.EqualFold(stored[:len(ref)], ref) {
+			next := stored[len(ref)]
+			return next == ':' || next == ' '
+		}
+		return false
+	}
+	var out []*Entry
+	for _, comp := range b.Components() {
+		for _, e := range b.ForComponent(comp) {
+			for _, r := range e.BugRefs {
+				if matches(r) {
+					out = append(out, e)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Components returns the sorted component families in the base.
+func (b *Base) Components() []string {
+	set := map[string]string{}
+	for _, e := range b.entries {
+		set[strings.ToLower(e.Component)] = e.Component
+	}
+	out := make([]string, 0, len(set))
+	for _, v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transferable partitions a component's latest tests by whether the given
+// stand catalog offers every method they use: the new project's "what can
+// we reuse as-is" report. Reasons explains each rejection.
+func (b *Base) Transferable(component string, cat *resource.Catalog, reg *method.Registry) (ok []*Entry, reasons map[string]string) {
+	reasons = map[string]string{}
+	for _, e := range b.ForComponent(component) {
+		var missing []string
+		for _, m := range e.Script.UsedMethods() {
+			d, found := reg.Lookup(m)
+			if !found {
+				missing = append(missing, m+"?")
+				continue
+			}
+			if d.Kind == method.Control {
+				continue
+			}
+			if len(cat.Candidates(m)) == 0 {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) == 0 {
+			ok = append(ok, e)
+			continue
+		}
+		sort.Strings(missing)
+		reasons[e.ID()] = "missing methods: " + strings.Join(missing, ", ")
+	}
+	return ok, reasons
+}
+
+// ----------------------------------------------------------- archive I/O --
+
+type entryXML struct {
+	Component string         `xml:"component,attr"`
+	Name      string         `xml:"name,attr"`
+	Revision  int            `xml:"revision,attr"`
+	Origin    string         `xml:"origin,attr,omitempty"`
+	Tags      []string       `xml:"tag"`
+	BugRefs   []string       `xml:"bugref"`
+	Script    *script.Script `xml:"testscript"`
+}
+
+type baseXML struct {
+	XMLName xml.Name   `xml:"knowledgebase"`
+	Entries []entryXML `xml:"entry"`
+}
+
+// Write serialises the base as XML with the scripts embedded.
+func Write(w io.Writer, b *Base) error {
+	doc := baseXML{}
+	for _, e := range b.entries {
+		doc.Entries = append(doc.Entries, entryXML{
+			Component: e.Component, Name: e.Name, Revision: e.Revision,
+			Origin: e.Origin, Tags: e.Tags, BugRefs: e.BugRefs, Script: e.Script,
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Read parses a serialised base. Revisions are preserved as archived.
+func Read(r io.Reader) (*Base, error) {
+	var doc baseXML
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("knowledge: decode: %v", err)
+	}
+	b := NewBase()
+	for i := range doc.Entries {
+		x := doc.Entries[i]
+		if x.Component == "" || x.Name == "" || x.Script == nil {
+			return nil, fmt.Errorf("knowledge: archive entry %d incomplete", i)
+		}
+		b.entries = append(b.entries, &Entry{
+			Component: x.Component, Name: x.Name, Revision: x.Revision,
+			Origin: x.Origin, Tags: x.Tags, BugRefs: x.BugRefs, Script: x.Script,
+		})
+	}
+	return b, nil
+}

@@ -1,0 +1,227 @@
+package knowledge
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/method"
+	"repro/internal/paper"
+	"repro/internal/resource"
+	"repro/internal/script"
+	"repro/internal/stand"
+	"repro/internal/unit"
+	"repro/internal/workbooks"
+)
+
+func paperScript(t *testing.T) *script.Script {
+	t.Helper()
+	suite, err := core.LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := suite.GenerateScript("InteriorIllumination")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func seeded(t *testing.T) *Base {
+	t.Helper()
+	b := NewBase()
+	sc := paperScript(t)
+	if err := b.Add(&Entry{Component: "interior_light", Name: "InteriorIllumination",
+		Origin: "S-class 2005", Tags: []string{"night", "timeout"},
+		BugRefs: []string{"FB-4711"}, Script: sc}); err != nil {
+		t.Fatal(err)
+	}
+	suite, err := core.LoadSuiteString(workbooks.CentralLocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scripts {
+		if err := b.Add(&Entry{Component: "central_locking", Name: sc.Name,
+			Origin: "S-class 2005", Script: sc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestAddAndLookup(t *testing.T) {
+	b := seeded(t)
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+	e, ok := b.Lookup("interior_light/InteriorIllumination@1")
+	if !ok || e.Origin != "S-class 2005" {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := b.Lookup("ghost/x@1"); ok {
+		t.Error("ghost entry found")
+	}
+}
+
+func TestRevisions(t *testing.T) {
+	b := seeded(t)
+	sc := paperScript(t)
+	// A later project contributes an improved revision.
+	if err := b.Add(&Entry{Component: "interior_light", Name: "InteriorIllumination",
+		Origin: "E-class 2007", Script: sc}); err != nil {
+		t.Fatal(err)
+	}
+	latest, ok := b.Latest("interior_light", "InteriorIllumination")
+	if !ok || latest.Revision != 2 || latest.Origin != "E-class 2007" {
+		t.Fatalf("Latest = %+v", latest)
+	}
+	hist := b.History("interior_light", "InteriorIllumination")
+	if len(hist) != 2 || hist[0].Revision != 1 || hist[1].Revision != 2 {
+		t.Errorf("History = %v", hist)
+	}
+	// ForComponent returns only the latest revision per lineage.
+	comp := b.ForComponent("interior_light")
+	if len(comp) != 1 || comp[0].Revision != 2 {
+		t.Errorf("ForComponent = %v", comp)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	b := NewBase()
+	if err := b.Add(&Entry{Name: "x", Script: &script.Script{}}); err == nil {
+		t.Error("entry without component accepted")
+	}
+	if err := b.Add(&Entry{Component: "c", Name: "x"}); err == nil {
+		t.Error("entry without script accepted")
+	}
+}
+
+func TestComponentsAndTags(t *testing.T) {
+	b := seeded(t)
+	comps := b.Components()
+	if len(comps) != 2 || comps[0] != "central_locking" || comps[1] != "interior_light" {
+		t.Errorf("Components = %v", comps)
+	}
+	tagged := b.FindTag("TIMEOUT")
+	if len(tagged) != 1 || tagged[0].Component != "interior_light" {
+		t.Errorf("FindTag = %v", tagged)
+	}
+	if got := b.FindTag("nope"); len(got) != 0 {
+		t.Errorf("FindTag(nope) = %v", got)
+	}
+}
+
+func TestFindBugRef(t *testing.T) {
+	b := seeded(t)
+	hits := b.FindBugRef("fb-4711")
+	if len(hits) != 1 || hits[0].Name != "InteriorIllumination" {
+		t.Errorf("FindBugRef = %v", hits)
+	}
+}
+
+func TestTransferable(t *testing.T) {
+	b := seeded(t)
+	reg := method.Builtin()
+
+	// A full lab can run everything.
+	full, err := stand.FullLab(reg, stand.Harness{Forward: []string{"X"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, reasons := b.Transferable("central_locking", full.Catalog, reg)
+	if len(ok) != 4 || len(reasons) != 0 {
+		t.Errorf("full lab transferable = %d ok, %v", len(ok), reasons)
+	}
+
+	// A bench without a counter rejects the pulse-timing test with the
+	// paper's diagnostic.
+	cat := resource.NewCatalog()
+	for _, m := range []string{"put_r", "get_u"} {
+		if err := cat.Add(&resource.Resource{ID: "R_" + m,
+			Caps: []resource.Capability{{Method: m, Range: resource.Unbounded(unit.None)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.Add(&resource.Resource{ID: "CAN1", Kind: resource.CANAdapter,
+		Caps: []resource.Capability{
+			{Method: "put_can", Range: resource.Unbounded(unit.Bit)},
+			{Method: "get_can", Range: resource.Unbounded(unit.Bit)},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	ok, reasons = b.Transferable("central_locking", cat, reg)
+	if len(ok) != 3 {
+		t.Errorf("transferable without counter = %d, want 3", len(ok))
+	}
+	reason, found := reasons["central_locking/PulseTiming@1"]
+	if !found || !strings.Contains(reason, "get_t") {
+		t.Errorf("reasons = %v", reasons)
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	b := seeded(t)
+	var buf strings.Builder
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Read: %v\n%s", err, buf.String())
+	}
+	if back.Len() != b.Len() {
+		t.Fatalf("round-trip len %d != %d", back.Len(), b.Len())
+	}
+	e, ok := back.Lookup("interior_light/InteriorIllumination@1")
+	if !ok {
+		t.Fatal("entry lost in round trip")
+	}
+	if len(e.Tags) != 2 || e.BugRefs[0] != "FB-4711" {
+		t.Errorf("metadata lost: %+v", e)
+	}
+	// The embedded script is intact and still validates.
+	if err := script.Validate(e.Script, method.Builtin()); err != nil {
+		t.Errorf("archived script invalid after round trip: %v", err)
+	}
+	if e.Script.Duration() != 309 {
+		t.Errorf("script duration = %v", e.Script.Duration())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("not xml")); err == nil {
+		t.Error("garbage archive accepted")
+	}
+	if _, err := Read(strings.NewReader("<knowledgebase><entry name='x'/></knowledgebase>")); err == nil {
+		t.Error("incomplete entry accepted")
+	}
+}
+
+func TestEntryID(t *testing.T) {
+	e := &Entry{Component: "c", Name: "n", Revision: 3}
+	if e.ID() != "c/n@3" {
+		t.Errorf("ID = %q", e.ID())
+	}
+	if !e.HasTag("") && e.HasTag("x") {
+		t.Error("HasTag misbehaves")
+	}
+}
+
+func TestFindBugRefWithDescription(t *testing.T) {
+	b := NewBase()
+	sc := paperScript(t)
+	if err := b.Add(&Entry{Component: "c", Name: "n",
+		BugRefs: []string{"FB-2041: lamp stayed on overnight"}, Script: sc}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.FindBugRef("FB-2041"); len(got) != 1 {
+		t.Errorf("prefix bug ref not found: %v", got)
+	}
+	if got := b.FindBugRef("FB-204"); len(got) != 0 {
+		t.Errorf("partial identifier matched: %v", got)
+	}
+}

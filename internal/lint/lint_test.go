@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paper"
+	"repro/internal/workbooks"
+)
+
+func findings(t *testing.T, workbook string) []Finding {
+	t.Helper()
+	suite, err := core.LoadSuiteString(workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Check(suite.Signals, suite.Statuses, suite.Tests)
+}
+
+func hasCode(fs []Finding, code, substr string) bool {
+	for _, f := range fs {
+		if f.Code == code && strings.Contains(f.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPaperWorkbookFindings(t *testing.T) {
+	fs := findings(t, paper.Workbook)
+	// The paper's own table has real, documented gaps:
+	// the rear door switches are never stimulated by the test…
+	if !hasCode(fs, "unstimulated-input", "DS_RL") || !hasCode(fs, "unstimulated-input", "DS_RR") {
+		t.Errorf("rear door coverage gap not flagged: %v", fs)
+	}
+	// …DS_FR is toggled, DS_FL is toggled, so neither is flagged as
+	// never-toggled…
+	if hasCode(fs, "never-toggled", "DS_FL") || hasCode(fs, "never-toggled", "DS_FR") {
+		t.Errorf("toggled doors incorrectly flagged: %v", fs)
+	}
+	// …and IGN_ST stays Off for the whole test.
+	if !hasCode(fs, "never-toggled", "IGN_ST") {
+		t.Errorf("constant IGN_ST not flagged: %v", fs)
+	}
+}
+
+func TestCleanColumnsNotFlagged(t *testing.T) {
+	fs := findings(t, paper.Workbook)
+	if hasCode(fs, "empty-column", "") {
+		t.Errorf("paper workbook has no empty columns, got: %v", fs)
+	}
+	if hasCode(fs, "unused-status", "") {
+		t.Errorf("paper workbook uses every status, got: %v", fs)
+	}
+	if hasCode(fs, "missing-init", "") {
+		t.Errorf("paper workbook inits every input, got: %v", fs)
+	}
+}
+
+func TestOtherWorkbooksReasonablyClean(t *testing.T) {
+	for _, wb := range []string{workbooks.CentralLocking, workbooks.WindowLifter, workbooks.ExteriorLight} {
+		for _, f := range Warnings(findings(t, wb)) {
+			switch f.Code {
+			case "unstimulated-input", "never-toggled", "unmeasured-output":
+				// Acceptable residual coverage notes.
+			default:
+				t.Errorf("unexpected warning in workbook: %v", f)
+			}
+		}
+	}
+}
+
+func TestUnusedStatusDetected(t *testing.T) {
+	fs := findings(t, `== SignalDefinition ==
+signal;direction;class;pin;init
+A;in;digital;A;Released
+B;out;analog;B;
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max
+Pressed;put_r;r;;0;;;
+Released;put_r;r;;INF;;;
+Ghost;put_r;r;;100;;;
+MotOn;get_u;u;UBATT;1;0,7;1,1
+== Test_T ==
+test step;dt;A;B
+0;1;Pressed;MotOn
+`)
+	if !hasCode(fs, "unused-status", "Ghost") {
+		t.Errorf("unused status not flagged: %v", fs)
+	}
+	if hasCode(fs, "unused-status", "Released") {
+		t.Errorf("init-only status flagged as unused: %v", fs)
+	}
+}
+
+func TestMissingInitAndCoverage(t *testing.T) {
+	fs := findings(t, `== SignalDefinition ==
+signal;direction;class;pin;init
+A;in;digital;A;
+OUT1;out;analog;O1;
+OUT2;out;analog;O2;
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max
+Pressed;put_r;r;;0;;;
+MotOn;get_u;u;UBATT;1;0,7;1,1
+== Test_T ==
+test step;dt;A;OUT1
+0;1;Pressed;MotOn
+`)
+	if !hasCode(fs, "missing-init", "A") {
+		t.Errorf("missing init not flagged: %v", fs)
+	}
+	if !hasCode(fs, "unmeasured-output", "OUT2") {
+		t.Errorf("unmeasured output not flagged: %v", fs)
+	}
+	if hasCode(fs, "unmeasured-output", "OUT1") {
+		t.Errorf("measured output flagged: %v", fs)
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	fs := findings(t, `== SignalDefinition ==
+signal;direction;class;pin;init
+A;in;digital;A;Pressed
+B;in;digital;B;Pressed
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max
+Pressed;put_r;r;;0;;;
+== Test_T ==
+test step;dt;A;B
+0;1;Pressed;
+`)
+	if !hasCode(fs, "empty-column", `"B"`) {
+		t.Errorf("empty column not flagged: %v", fs)
+	}
+}
+
+func TestLimitSanity(t *testing.T) {
+	fs := findings(t, `== SignalDefinition ==
+signal;direction;class;pin;init
+O;out;analog;O;
+I;in;digital;I;Stim
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max
+Bad;get_u;u;;1;5;2
+Flat;get_u;u;;1;3;3
+Stim;put_r;r;;0;;;
+== Test_T ==
+test step;dt;O;I
+0;1;Bad;Stim
+1;1;Flat;
+`)
+	if !hasCode(fs, "inverted-limits", "Bad") {
+		t.Errorf("inverted limits not flagged: %v", fs)
+	}
+	if !hasCode(fs, "degenerate-limits", "Flat") {
+		t.Errorf("degenerate limits not flagged: %v", fs)
+	}
+}
+
+func TestLongTestInfo(t *testing.T) {
+	fs := findings(t, paper.Workbook)
+	// 309 s is under the 600 s threshold: no long-test info.
+	if hasCode(fs, "long-test", "") {
+		t.Errorf("309 s test flagged as long: %v", fs)
+	}
+	fs = findings(t, `== SignalDefinition ==
+signal;direction;class;pin;init
+I;in;digital;I;Stim
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max
+Stim;put_r;r;;0;;;
+== Test_T ==
+test step;dt;I
+0;700;Stim
+`)
+	if !hasCode(fs, "long-test", "T") {
+		t.Errorf("700 s test not flagged: %v", fs)
+	}
+}
+
+func TestWarningsFilterAndStrings(t *testing.T) {
+	fs := []Finding{{Info, "a", "x"}, {Warning, "b", "y"}}
+	w := Warnings(fs)
+	if len(w) != 1 || w[0].Code != "b" {
+		t.Errorf("Warnings = %v", w)
+	}
+	if fs[0].String() != "info a: x" || fs[1].String() != "warning b: y" {
+		t.Errorf("String() = %q / %q", fs[0], fs[1])
+	}
+	if Info.String() != "info" || Warning.String() != "warning" {
+		t.Error("Severity.String() wrong")
+	}
+}
+
+func TestWarningsSortedFirst(t *testing.T) {
+	fs := findings(t, paper.Workbook)
+	seenInfo := false
+	for _, f := range fs {
+		if f.Severity == Info {
+			seenInfo = true
+		}
+		if seenInfo && f.Severity == Warning {
+			t.Fatalf("warnings not sorted before infos: %v", fs)
+		}
+	}
+}

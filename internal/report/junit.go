@@ -1,0 +1,97 @@
+package report
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// JUnit output: one <testsuite> per report, one <testcase> per check,
+// named "step<N>/<signal>/<method>". CI systems ingest this directly, so
+// component-test runs can gate pipelines like any other test suite.
+
+type junitFailure struct {
+	Message string `xml:"message,attr"`
+	Type    string `xml:"type,attr"`
+	Body    string `xml:",chardata"`
+}
+
+type junitCase struct {
+	Name      string        `xml:"name,attr"`
+	ClassName string        `xml:"classname,attr"`
+	Time      float64       `xml:"time,attr"`
+	Failure   *junitFailure `xml:"failure,omitempty"`
+	Error     *junitFailure `xml:"error,omitempty"`
+	Skipped   *struct{}     `xml:"skipped,omitempty"`
+}
+
+type junitSuite struct {
+	XMLName  xml.Name    `xml:"testsuite"`
+	Name     string      `xml:"name,attr"`
+	Tests    int         `xml:"tests,attr"`
+	Failures int         `xml:"failures,attr"`
+	Errors   int         `xml:"errors,attr"`
+	Skipped  int         `xml:"skipped,attr"`
+	Time     float64     `xml:"time,attr"`
+	Cases    []junitCase `xml:"testcase"`
+}
+
+// WriteJUnit renders the report in JUnit XML form. The per-case time is
+// the step duration (simulated seconds), attributed to the step's first
+// check and zero for the rest, so the suite total matches the script's
+// nominal duration.
+func WriteJUnit(w io.Writer, r *Report) error {
+	s := junitSuite{Name: r.Script + " on " + r.Stand}
+	for _, step := range r.Steps {
+		first := true
+		for _, c := range step.Checks {
+			jc := junitCase{
+				Name:      fmt.Sprintf("step%d/%s/%s", step.Nr, c.Signal, c.Method),
+				ClassName: r.Script,
+			}
+			if first {
+				jc.Time = step.Dt
+				first = false
+			}
+			msg := fmt.Sprintf("expected %s, measured %s", c.Expected, c.Measured)
+			if c.Detail != "" {
+				msg += " (" + c.Detail + ")"
+			}
+			switch c.Verdict {
+			case Fail:
+				s.Failures++
+				jc.Failure = &junitFailure{Message: msg, Type: "limit", Body: msg}
+			case Error:
+				s.Errors++
+				jc.Error = &junitFailure{Message: msg, Type: "execution", Body: msg}
+			case Skip:
+				s.Skipped++
+				jc.Skipped = &struct{}{}
+			}
+			s.Tests++
+			s.Time += jc.Time
+			s.Cases = append(s.Cases, jc)
+		}
+	}
+	if r.FatalErr != "" {
+		s.Errors++
+		s.Tests++
+		s.Cases = append(s.Cases, junitCase{
+			Name: "run", ClassName: r.Script,
+			Error: &junitFailure{Message: r.FatalErr, Type: "fatal", Body: r.FatalErr},
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	e := xml.NewEncoder(w)
+	e.Indent("", "  ")
+	if err := e.Encode(s); err != nil {
+		return err
+	}
+	if err := e.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteJUnit(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJUnit(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var suite struct {
+		XMLName  xml.Name `xml:"testsuite"`
+		Tests    int      `xml:"tests,attr"`
+		Failures int      `xml:"failures,attr"`
+		Errors   int      `xml:"errors,attr"`
+		Time     float64  `xml:"time,attr"`
+		Cases    []struct {
+			Name    string `xml:"name,attr"`
+			Failure *struct {
+				Message string `xml:"message,attr"`
+			} `xml:"failure"`
+		} `xml:"testcase"`
+	}
+	if err := xml.Unmarshal([]byte(out), &suite); err != nil {
+		t.Fatalf("junit not parseable: %v\n%s", err, out)
+	}
+	if suite.Tests != 2 || suite.Failures != 1 || suite.Errors != 0 {
+		t.Errorf("suite counters = %+v", suite)
+	}
+	// Suite time equals the script's nominal duration (0.5 + 280).
+	if suite.Time != 280.5 {
+		t.Errorf("suite time = %v, want 280.5", suite.Time)
+	}
+	if suite.Cases[0].Name != "step0/int_ill/get_u" {
+		t.Errorf("case name = %q", suite.Cases[0].Name)
+	}
+	if suite.Cases[1].Failure == nil || !strings.Contains(suite.Cases[1].Failure.Message, "below limit") {
+		t.Errorf("failure detail lost: %+v", suite.Cases[1])
+	}
+}
+
+func TestWriteJUnitFatal(t *testing.T) {
+	r := &Report{Script: "X", Stand: "S", FatalErr: "script invalid"}
+	var b strings.Builder
+	if err := WriteJUnit(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `errors="1"`) || !strings.Contains(out, "script invalid") {
+		t.Errorf("fatal junit wrong:\n%s", out)
+	}
+}
+
+func TestWriteJUnitSkip(t *testing.T) {
+	r := sample()
+	r.Steps[1].Checks[0].Verdict = Skip
+	var b strings.Builder
+	if err := WriteJUnit(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `skipped="1"`) || !strings.Contains(b.String(), "<skipped") {
+		t.Errorf("skip junit wrong:\n%s", b.String())
+	}
+}

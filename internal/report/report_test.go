@@ -1,0 +1,161 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	return &Report{
+		Script: "InteriorIllumination",
+		Stand:  "paper_stand",
+		DUT:    "interior_light",
+		Steps: []StepResult{
+			{Nr: 0, Dt: 0.5, Remark: "day: no interior",
+				Applied: []string{"ign_st put_can(data=0001B) via CAN1"},
+				Checks: []Check{
+					{Signal: "int_ill", Method: "get_u", Expected: "[0, 3.6] V",
+						Measured: "0.01 V", Verdict: Pass},
+				}},
+			{Nr: 7, Dt: 280,
+				Checks: []Check{
+					{Signal: "int_ill", Method: "get_u", Expected: "[8.4, 13.2] V",
+						Measured: "0.02 V", Verdict: Fail, Detail: "below limit"},
+				}},
+		},
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := sample()
+	pass, fail, errs, skip := r.Counts()
+	if pass != 1 || fail != 1 || errs != 0 || skip != 0 {
+		t.Errorf("Counts = %d %d %d %d", pass, fail, errs, skip)
+	}
+	if r.Passed() {
+		t.Error("failing report Passed() = true")
+	}
+}
+
+func TestPassed(t *testing.T) {
+	r := sample()
+	r.Steps[1].Checks[0].Verdict = Pass
+	if !r.Passed() {
+		t.Error("all-pass report Passed() = false")
+	}
+	r.FatalErr = "boom"
+	if r.Passed() {
+		t.Error("fatal report Passed() = true")
+	}
+}
+
+func TestSkipBlocksPass(t *testing.T) {
+	r := sample()
+	r.Steps[1].Checks[0].Verdict = Skip
+	if r.Passed() {
+		t.Error("report with skipped checks Passed() = true")
+	}
+}
+
+func TestFailedSteps(t *testing.T) {
+	r := sample()
+	got := r.FailedSteps()
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("FailedSteps = %v", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sample().Summary()
+	for _, want := range []string{"FAIL", "InteriorIllumination", "paper_stand", "1 pass", "1 fail"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary %q lacks %q", s, want)
+		}
+	}
+	r := sample()
+	r.FatalErr = "allocation failed"
+	if !strings.Contains(r.Summary(), "aborted") {
+		t.Error("fatal summary lacks 'aborted'")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	out := TextString(sample())
+	for _, want := range []string{"step 0", "step 7", "PASS", "FAIL", "day: no interior",
+		"apply", "below limit", "dt=0.5s", "dt=280s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 checks
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "script" || rows[1][7] != "PASS" || rows[2][7] != "FAIL" {
+		t.Errorf("csv rows = %v", rows)
+	}
+}
+
+func TestWriteXML(t *testing.T) {
+	var b strings.Builder
+	if err := WriteXML(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Well-formed?
+	var back xmlReport
+	if err := xml.Unmarshal([]byte(out), &back); err != nil {
+		t.Fatalf("xml not parseable: %v\n%s", err, out)
+	}
+	if back.Script != "InteriorIllumination" || len(back.Steps) != 2 {
+		t.Errorf("xml round trip = %+v", back)
+	}
+	if back.Steps[1].Checks[0].Verdict != "FAIL" {
+		t.Errorf("verdict = %q", back.Steps[1].Checks[0].Verdict)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	cases := map[Verdict]string{Pass: "PASS", Fail: "FAIL", Error: "ERROR", Skip: "SKIP"}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+	if Verdict(9).String() == "" {
+		t.Error("unknown verdict empty")
+	}
+}
+
+func TestStepFailed(t *testing.T) {
+	s := StepResult{Checks: []Check{{Verdict: Pass}}}
+	if s.Failed() {
+		t.Error("passing step Failed() = true")
+	}
+	s.Checks = append(s.Checks, Check{Verdict: Error})
+	if !s.Failed() {
+		t.Error("erroring step Failed() = false")
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := &Report{Script: "X", Stand: "S"}
+	if !r.Passed() {
+		t.Error("empty report should pass (vacuously)")
+	}
+	if len(r.FailedSteps()) != 0 {
+		t.Error("empty report has failed steps")
+	}
+}

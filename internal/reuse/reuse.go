@@ -1,0 +1,159 @@
+// Package reuse quantifies the paper's headline claim: test definitions
+// that are "independent from the test environment" can be reused across
+// projects, suppliers and test stands. Given a set of generated scripts
+// and a set of stand configurations it computes the can-run matrix (which
+// script is executable on which stand, and why not) and the reuse
+// percentage — the fraction of (script, stand) pairs that work without
+// touching the test definition.
+package reuse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/method"
+	"repro/internal/resource"
+	"repro/internal/script"
+)
+
+// Cell is one entry of the can-run matrix.
+type Cell struct {
+	Script string
+	Stand  string
+	// Runnable is the static check: every method of the script is
+	// offered by at least one resource of the stand.
+	Runnable bool
+	// Reason explains a false Runnable.
+	Reason string
+}
+
+// Matrix is the complete cross-stand analysis.
+type Matrix struct {
+	Scripts []string
+	Stands  []string
+	Cells   []Cell
+}
+
+// StandInfo is the subset of a stand the analysis needs; it avoids a
+// dependency on the heavier stand package.
+type StandInfo struct {
+	Name    string
+	Catalog *resource.Catalog
+}
+
+// Analyze computes the can-run matrix.
+func Analyze(scripts []*script.Script, stands []StandInfo, reg *method.Registry) (*Matrix, error) {
+	if len(scripts) == 0 || len(stands) == 0 {
+		return nil, fmt.Errorf("reuse: need at least one script and one stand")
+	}
+	m := &Matrix{}
+	for _, sc := range scripts {
+		m.Scripts = append(m.Scripts, sc.Name)
+	}
+	for _, st := range stands {
+		m.Stands = append(m.Stands, st.Name)
+	}
+	for _, sc := range scripts {
+		if err := script.Validate(sc, reg); err != nil {
+			return nil, fmt.Errorf("reuse: %v", err)
+		}
+		for _, st := range stands {
+			cell := Cell{Script: sc.Name, Stand: st.Name, Runnable: true}
+			var missing []string
+			for _, mm := range sc.UsedMethods() {
+				d, ok := reg.Lookup(mm)
+				if !ok {
+					return nil, fmt.Errorf("reuse: unknown method %q in %q", mm, sc.Name)
+				}
+				if d.Kind == method.Control {
+					continue
+				}
+				if len(st.Catalog.Candidates(mm)) == 0 {
+					missing = append(missing, mm)
+				}
+			}
+			if len(missing) > 0 {
+				cell.Runnable = false
+				sort.Strings(missing)
+				cell.Reason = "missing methods: " + strings.Join(missing, ", ")
+			}
+			m.Cells = append(m.Cells, cell)
+		}
+	}
+	return m, nil
+}
+
+// Cell returns the matrix cell for (script, stand).
+func (m *Matrix) Cell(scriptName, standName string) (Cell, bool) {
+	for _, c := range m.Cells {
+		if strings.EqualFold(c.Script, scriptName) && strings.EqualFold(c.Stand, standName) {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// ReusePercent is the fraction of runnable (script, stand) pairs, in
+// percent.
+func (m *Matrix) ReusePercent() float64 {
+	if len(m.Cells) == 0 {
+		return 0
+	}
+	run := 0
+	for _, c := range m.Cells {
+		if c.Runnable {
+			run++
+		}
+	}
+	return 100 * float64(run) / float64(len(m.Cells))
+}
+
+// PerStand returns, for each stand, how many scripts it can run.
+func (m *Matrix) PerStand() map[string]int {
+	out := map[string]int{}
+	for _, s := range m.Stands {
+		out[s] = 0
+	}
+	for _, c := range m.Cells {
+		if c.Runnable {
+			out[c.Stand]++
+		}
+	}
+	return out
+}
+
+// String renders the matrix as an aligned text table with ✓/✗ cells.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	nameW := len("script")
+	for _, s := range m.Scripts {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW, "script")
+	for _, st := range m.Stands {
+		fmt.Fprintf(&b, "  %s", st)
+	}
+	b.WriteString("\n")
+	for _, sc := range m.Scripts {
+		fmt.Fprintf(&b, "%-*s", nameW, sc)
+		for _, st := range m.Stands {
+			c, _ := m.Cell(sc, st)
+			mark := "yes"
+			if !c.Runnable {
+				mark = "NO"
+			}
+			fmt.Fprintf(&b, "  %-*s", len(st), mark)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "reuse: %.1f%%\n", m.ReusePercent())
+	for _, c := range m.Cells {
+		if !c.Runnable {
+			fmt.Fprintf(&b, "  %s on %s: %s\n", c.Script, c.Stand, c.Reason)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package reuse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/method"
+	"repro/internal/resource"
+	"repro/internal/script"
+	"repro/internal/unit"
+)
+
+func testScript(name string, methods map[string]map[string]string) *script.Script {
+	sc := &script.Script{Name: name, Version: script.Version,
+		Decls: []*script.SignalDecl{
+			{Name: "sig", Direction: "in", Class: "digital", Pin: "P1"},
+			{Name: "out", Direction: "out", Class: "analog", Pin: "P2"},
+		}}
+	step := &script.Step{Nr: 0, Dt: 1}
+	for m, attrs := range methods {
+		name := "sig"
+		if strings.HasPrefix(m, "get") {
+			name = "out"
+		}
+		step.Signals = append(step.Signals, &script.SignalStmt{
+			Name: name, Call: script.MethodCall{Method: m, Attrs: attrs}})
+	}
+	sc.Steps = []*script.Step{step}
+	return sc
+}
+
+func catalogWith(t *testing.T, methods ...string) *resource.Catalog {
+	t.Helper()
+	cat := resource.NewCatalog()
+	for i, m := range methods {
+		r := &resource.Resource{ID: "R" + strings.Repeat("x", i+1),
+			Caps: []resource.Capability{{Method: m, Range: resource.Unbounded(unit.None)}}}
+		if strings.Contains(m, "can") {
+			r.Kind = resource.CANAdapter
+		}
+		if err := cat.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func TestAnalyzeBasic(t *testing.T) {
+	reg := method.Builtin()
+	scripts := []*script.Script{
+		testScript("A", map[string]map[string]string{
+			"put_r": {"r": "100"},
+			"get_u": {"u_min": "0", "u_max": "1"},
+		}),
+		testScript("B", map[string]map[string]string{
+			"put_pwm": {"f": "100", "duty": "50"},
+		}),
+	}
+	stands := []StandInfo{
+		{Name: "full", Catalog: catalogWith(t, "put_r", "get_u", "put_pwm")},
+		{Name: "mini", Catalog: catalogWith(t, "put_r", "get_u")},
+	}
+	m, err := Analyze(scripts, stands, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 4 {
+		t.Fatalf("cells = %d", len(m.Cells))
+	}
+	c, _ := m.Cell("A", "full")
+	if !c.Runnable {
+		t.Error("A on full not runnable")
+	}
+	c, _ = m.Cell("A", "mini")
+	if !c.Runnable {
+		t.Error("A on mini not runnable")
+	}
+	c, _ = m.Cell("B", "mini")
+	if c.Runnable {
+		t.Error("B on mini runnable despite missing put_pwm")
+	}
+	if !strings.Contains(c.Reason, "put_pwm") {
+		t.Errorf("reason = %q", c.Reason)
+	}
+	if got := m.ReusePercent(); got != 75 {
+		t.Errorf("ReusePercent = %v, want 75", got)
+	}
+}
+
+func TestPerStand(t *testing.T) {
+	reg := method.Builtin()
+	scripts := []*script.Script{
+		testScript("A", map[string]map[string]string{"put_r": {"r": "1"}}),
+		testScript("B", map[string]map[string]string{"put_u": {"u": "5"}}),
+	}
+	stands := []StandInfo{
+		{Name: "s1", Catalog: catalogWith(t, "put_r", "put_u")},
+		{Name: "s2", Catalog: catalogWith(t, "put_r")},
+	}
+	m, err := Analyze(scripts, stands, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := m.PerStand()
+	if per["s1"] != 2 || per["s2"] != 1 {
+		t.Errorf("PerStand = %v", per)
+	}
+}
+
+func TestString(t *testing.T) {
+	reg := method.Builtin()
+	scripts := []*script.Script{testScript("OnlyTest", map[string]map[string]string{
+		"put_pwm": {"f": "1", "duty": "2"}})}
+	stands := []StandInfo{{Name: "bare", Catalog: catalogWith(t, "put_r")}}
+	m, err := Analyze(scripts, stands, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.String()
+	for _, want := range []string{"OnlyTest", "bare", "NO", "0.0%", "put_pwm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestControlMethodsIgnored(t *testing.T) {
+	reg := method.Builtin()
+	sc := testScript("W", map[string]map[string]string{"put_r": {"r": "1"}})
+	sc.Steps[0].Signals = append(sc.Steps[0].Signals, &script.SignalStmt{
+		Name: "sig", Call: script.MethodCall{Method: "wait", Attrs: map[string]string{"t": "1"}}})
+	stands := []StandInfo{{Name: "s", Catalog: catalogWith(t, "put_r")}}
+	m, err := Analyze([]*script.Script{sc}, stands, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := m.Cell("W", "s"); !c.Runnable {
+		t.Errorf("wait made the script unrunnable: %+v", c)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	reg := method.Builtin()
+	if _, err := Analyze(nil, nil, reg); err == nil {
+		t.Error("empty analysis accepted")
+	}
+	bad := testScript("Bad", map[string]map[string]string{"put_r": {"r": "1"}})
+	bad.Version = "999"
+	stands := []StandInfo{{Name: "s", Catalog: catalogWith(t, "put_r")}}
+	if _, err := Analyze([]*script.Script{bad}, stands, reg); err == nil {
+		t.Error("invalid script accepted")
+	}
+}
+
+func TestCellMissing(t *testing.T) {
+	m := &Matrix{}
+	if _, ok := m.Cell("x", "y"); ok {
+		t.Error("ghost cell found")
+	}
+	if m.ReusePercent() != 0 {
+		t.Error("empty matrix reuse != 0")
+	}
+}

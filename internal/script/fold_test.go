@@ -1,0 +1,78 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/method"
+)
+
+func TestFoldReplacesExpressions(t *testing.T) {
+	sc := generated(t)
+	reg := method.Builtin()
+	if got := SymbolicAttrs(sc); got == 0 {
+		t.Fatal("generated script has no symbolic attributes?")
+	}
+	folded, err := Fold(sc, expr.MapEnv{"ubatt": 12}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SymbolicAttrs(folded); got != 0 {
+		t.Errorf("folded script still has %d symbolic attributes", got)
+	}
+	// The Ho band at 12 V folds to [8.4, 13.2].
+	text, err := EncodeString(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `u_max="13.2"`) {
+		t.Errorf("folded XML lacks u_max=\"13.2\":\n%s", text)
+	}
+	if strings.Contains(text, "ubatt") {
+		t.Error("folded XML still references ubatt")
+	}
+	// Folding does not change shape and the result still validates.
+	if len(folded.Steps) != len(sc.Steps) || len(folded.Init) != len(sc.Init) {
+		t.Error("fold changed script shape")
+	}
+	if err := Validate(folded, reg); err != nil {
+		t.Errorf("folded script invalid: %v", err)
+	}
+	// The original is untouched.
+	if got := SymbolicAttrs(sc); got == 0 {
+		t.Error("Fold mutated its input")
+	}
+}
+
+func TestFoldErrors(t *testing.T) {
+	sc := generated(t)
+	reg := method.Builtin()
+	// Undefined variable.
+	if _, err := Fold(sc, expr.MapEnv{}, reg); err == nil {
+		t.Error("fold without ubatt succeeded")
+	}
+	// Unknown method.
+	bad := generated(t)
+	bad.Steps[0].Signals[0].Call.Method = "zorch"
+	if _, err := Fold(bad, expr.MapEnv{"ubatt": 12}, reg); err == nil {
+		t.Error("fold with unknown method succeeded")
+	}
+}
+
+func TestSymbolicAttrsCountsOnlyExpressions(t *testing.T) {
+	sc := generated(t)
+	// Every get_u statement contributes u_min and u_max expressions; the
+	// put_can/put_r attributes are constants or bits.
+	measurements := 0
+	for _, step := range sc.Steps {
+		for _, st := range step.Signals {
+			if st.Call.Method == "get_u" {
+				measurements++
+			}
+		}
+	}
+	if got := SymbolicAttrs(sc); got != 2*measurements {
+		t.Errorf("SymbolicAttrs = %d, want %d (2 per get_u)", got, 2*measurements)
+	}
+}

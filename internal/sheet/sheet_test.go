@@ -1,0 +1,295 @@
+package sheet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleCSW = `
+# example workbook
+== Signals ==
+signal;direction;class
+IGN_ST;in;can
+INT_ILL;out;analog
+
+== Test_Light ==
+test step;dt;IGN_ST;INT_ILL;remarks
+0;0,5;Off;Lo;day: no interior
+1;0,5;;Lo;
+`
+
+func mustRead(t *testing.T, s string) *Workbook {
+	t.Helper()
+	wb, err := ReadWorkbookString(s)
+	if err != nil {
+		t.Fatalf("ReadWorkbookString: %v", err)
+	}
+	return wb
+}
+
+func TestReadBasic(t *testing.T) {
+	wb := mustRead(t, sampleCSW)
+	if len(wb.Sheets) != 2 {
+		t.Fatalf("got %d sheets, want 2", len(wb.Sheets))
+	}
+	sig := wb.Sheet("Signals")
+	if sig == nil {
+		t.Fatal("sheet Signals missing")
+	}
+	if sig.NumRows() != 3 {
+		t.Errorf("Signals rows = %d, want 3", sig.NumRows())
+	}
+	if got := sig.At(1, 0); got != "IGN_ST" {
+		t.Errorf("At(1,0) = %q", got)
+	}
+	if got := sig.At(2, 2); got != "analog" {
+		t.Errorf("At(2,2) = %q", got)
+	}
+}
+
+func TestSheetLookupCaseInsensitive(t *testing.T) {
+	wb := mustRead(t, sampleCSW)
+	if wb.Sheet("signals") == nil || wb.Sheet("SIGNALS") == nil {
+		t.Error("case-insensitive sheet lookup failed")
+	}
+	if wb.Sheet("nope") != nil {
+		t.Error("lookup of missing sheet returned non-nil")
+	}
+}
+
+func TestSheetsWithPrefix(t *testing.T) {
+	wb := mustRead(t, sampleCSW)
+	tests := wb.SheetsWithPrefix("Test_")
+	if len(tests) != 1 || tests[0].Name != "Test_Light" {
+		t.Errorf("SheetsWithPrefix = %v", tests)
+	}
+	if got := wb.SheetsWithPrefix("zzz"); len(got) != 0 {
+		t.Errorf("SheetsWithPrefix(zzz) = %v", got)
+	}
+}
+
+func TestEmptyCells(t *testing.T) {
+	wb := mustRead(t, sampleCSW)
+	s := wb.Sheet("Test_Light")
+	if got := s.At(2, 2); got != "" {
+		t.Errorf("empty cell = %q, want empty", got)
+	}
+	// Out-of-range access is "".
+	if s.At(99, 0) != "" || s.At(0, 99) != "" || s.At(-1, -1) != "" {
+		t.Error("out-of-range At() must return empty string")
+	}
+}
+
+func TestGermanDecimalSurvives(t *testing.T) {
+	wb := mustRead(t, sampleCSW)
+	if got := wb.Sheet("Test_Light").At(1, 1); got != "0,5" {
+		t.Errorf("cell = %q, want 0,5 (decimal comma must survive)", got)
+	}
+}
+
+func TestQuotedCells(t *testing.T) {
+	wb := mustRead(t, `== S ==
+"a;b";"say ""hi""";" padded ";#notcomment
+`)
+	s := wb.Sheet("S")
+	if got := s.At(0, 0); got != "a;b" {
+		t.Errorf("quoted cell 0 = %q", got)
+	}
+	if got := s.At(0, 1); got != `say "hi"` {
+		t.Errorf("quoted cell 1 = %q", got)
+	}
+	if got := s.At(0, 2); got != " padded " {
+		t.Errorf("quoted cell 2 = %q (padding must survive quoting)", got)
+	}
+	if got := s.At(0, 3); got != "#notcomment" {
+		t.Errorf("cell 3 = %q", got)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	wb := mustRead(t, "# top\n\n== A ==\n# inner comment\nx;y\n\nz\n")
+	s := wb.Sheet("A")
+	if s.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2 (comments/blanks skipped)", s.NumRows())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"x;y\n",                     // data before header
+		"== A ==\nx\n== A ==\ny\n",  // duplicate sheet
+		"== A ==\n\"unterminated\n", // quote error
+	}
+	for _, in := range cases {
+		if _, err := ReadWorkbookString(in); err == nil {
+			t.Errorf("ReadWorkbookString(%q) unexpectedly succeeded", in)
+		}
+	}
+}
+
+func TestHeaderVariants(t *testing.T) {
+	// "====" is not a valid header; "== x ==" is.
+	if _, err := ReadWorkbookString("====\nx\n"); err == nil {
+		t.Error("'====' accepted as header")
+	}
+	wb := mustRead(t, "==  Spaced Name  ==\na\n")
+	if wb.Sheet("Spaced Name") == nil {
+		t.Error("spaced sheet name not trimmed correctly")
+	}
+}
+
+func TestSetAndAt(t *testing.T) {
+	s := NewSheet("X")
+	s.Set(2, 3, "v")
+	if got := s.At(2, 3); got != "v" {
+		t.Errorf("Set/At = %q", got)
+	}
+	if s.NumRows() != 3 {
+		t.Errorf("NumRows = %d, want 3", s.NumRows())
+	}
+	if s.NumCols() != 4 {
+		t.Errorf("NumCols = %d, want 4", s.NumCols())
+	}
+	// Intermediate cells are empty.
+	if s.At(0, 0) != "" || s.At(2, 0) != "" {
+		t.Error("intermediate cells not empty")
+	}
+}
+
+func TestAppendRowAndRow(t *testing.T) {
+	s := NewSheet("X")
+	s.AppendRow("a", "b")
+	s.AppendRow("c")
+	r := s.Row(1)
+	if len(r) != 2 || r[0] != "c" || r[1] != "" {
+		t.Errorf("Row(1) = %v", r)
+	}
+	if len(s.Row(99)) != 2 {
+		t.Errorf("Row(99) should be padded empty row, got %v", s.Row(99))
+	}
+}
+
+func TestIsEmptyRow(t *testing.T) {
+	s := NewSheet("X")
+	s.AppendRow("", "  ", "")
+	s.AppendRow("", "x")
+	if !s.IsEmptyRow(0) {
+		t.Error("IsEmptyRow(0) = false")
+	}
+	if s.IsEmptyRow(1) {
+		t.Error("IsEmptyRow(1) = true")
+	}
+	if !s.IsEmptyRow(99) {
+		t.Error("IsEmptyRow(out of range) = false")
+	}
+}
+
+func TestHeaderIndex(t *testing.T) {
+	s := NewSheet("X")
+	s.AppendRow("test step", "dt", "IGN_ST", "remarks")
+	if got := s.HeaderIndex("DT"); got != 1 {
+		t.Errorf("HeaderIndex(DT) = %d, want 1", got)
+	}
+	if got := s.HeaderIndex("missing"); got != -1 {
+		t.Errorf("HeaderIndex(missing) = %d, want -1", got)
+	}
+	if got := NewSheet("Y").HeaderIndex("x"); got != -1 {
+		t.Errorf("HeaderIndex on empty sheet = %d, want -1", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	wb := &Workbook{}
+	s1 := NewSheet("One")
+	s1.AppendRow("a", "b;c", `q"q`, " pad ")
+	s1.AppendRow("", "0,5")
+	s2 := NewSheet("Two")
+	s2.AppendRow("#leading hash")
+	if err := wb.Add(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Add(s2); err != nil {
+		t.Fatal(err)
+	}
+	out := WorkbookString(wb)
+	back, err := ReadWorkbookString(out)
+	if err != nil {
+		t.Fatalf("round-trip read: %v\n%s", err, out)
+	}
+	if len(back.Sheets) != 2 {
+		t.Fatalf("round-trip sheet count = %d", len(back.Sheets))
+	}
+	for si, orig := range wb.Sheets {
+		got := back.Sheets[si]
+		if got.Name != orig.Name {
+			t.Errorf("sheet %d name %q != %q", si, got.Name, orig.Name)
+		}
+		for ri := range orig.Rows {
+			for ci := range orig.Rows[ri] {
+				if got.At(ri, ci) != orig.At(ri, ci) {
+					t.Errorf("cell (%s,%d,%d) = %q, want %q",
+						orig.Name, ri, ci, got.At(ri, ci), orig.At(ri, ci))
+				}
+			}
+		}
+	}
+}
+
+// Property-based round trip over arbitrary printable cell content.
+func TestRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		// The CSW format is line-oriented; newlines inside cells are not
+		// supported, so the generator strips them. Everything else must
+		// survive.
+		s = strings.Map(func(r rune) rune {
+			if r == '\n' || r == '\r' {
+				return ' '
+			}
+			return r
+		}, s)
+		return s
+	}
+	f := func(cells [][2]string) bool {
+		wb := &Workbook{}
+		s := NewSheet("P")
+		for _, c := range cells {
+			s.AppendRow(sanitize(c[0]), sanitize(c[1]))
+		}
+		if err := wb.Add(s); err != nil {
+			return false
+		}
+		back, err := ReadWorkbookString(WorkbookString(wb))
+		if err != nil {
+			return false
+		}
+		bs := back.Sheet("P")
+		if bs == nil {
+			return len(cells) == 0
+		}
+		for i, c := range cells {
+			// Unquoted cells trim whitespace; the writer quotes padded
+			// cells, so content must match exactly.
+			if bs.At(i, 0) != sanitize(c[0]) || bs.At(i, 1) != sanitize(c[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	wb := &Workbook{}
+	if err := wb.Add(NewSheet("")); err == nil {
+		t.Error("Add empty-name sheet succeeded")
+	}
+	if err := wb.Add(NewSheet("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Add(NewSheet("a")); err == nil {
+		t.Error("Add duplicate (case-insensitive) sheet succeeded")
+	}
+}

@@ -1,0 +1,343 @@
+package sigdef
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/canbus"
+	"repro/internal/method"
+	"repro/internal/sheet"
+	"repro/internal/status"
+)
+
+// paperSignalSheet is the signal definition for the paper's interior
+// illumination example: CAN inputs IGN_ST and NIGHT, door switches DS_FL
+// … DS_RR wired to pins, and the measured lamp output INT_ILL between
+// pins INT_ILL_F and INT_ILL_R.
+const paperSignalSheet = `== SignalDefinition ==
+signal;direction;class;pin;pin return;message;startbit;length;init;description
+IGN_ST;in;can;;;BCM_STAT;0;4;Off;ignition status
+NIGHT;in;can;;;BCM_STAT;4;1;0;night bit from light sensor
+DS_FL;in;digital;DS_FL;;;;;Closed;door switch front left
+DS_FR;in;digital;DS_FR;;;;;Closed;door switch front right
+DS_RL;in;digital;DS_RL;;;;;Closed;door switch rear left
+DS_RR;in;digital;DS_RR;;;;;Closed;door switch rear right
+INT_ILL;out;analog;INT_ILL_F;INT_ILL_R;;;;Lo;interior illumination
+`
+
+const paperStatusSheet = `== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max;D 1;D 2;D 3
+Off;put_can;data;;0001B;;;;;
+Open;put_r;r;;0;0;0,5;2;;
+Closed;put_r;r;;INF;5000;INF;5000;;
+0;put_can;data;;0B;;;;;
+1;put_can;data;;1B;;;;;
+Lo;get_u;u;UBATT;0;0;0,3;;;
+Ho;get_u;u;UBATT;1;0,7;1,1;;;
+`
+
+func paperList(t *testing.T) *List {
+	t.Helper()
+	wb, err := sheet.ReadWorkbookString(paperSignalSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ParseSheet(wb.Sheet("SignalDefinition"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func paperStatuses(t *testing.T) *status.Table {
+	t.Helper()
+	wb, err := sheet.ReadWorkbookString(paperStatusSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := status.ParseSheet(wb.Sheet("StatusDefinition"), method.Builtin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestParsePaperSignals(t *testing.T) {
+	l := paperList(t)
+	if l.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", l.Len())
+	}
+	ign, ok := l.Lookup("IGN_ST")
+	if !ok || ign.Class != CANSignal || ign.Direction != In {
+		t.Errorf("IGN_ST = %+v", ign)
+	}
+	if ign.Message != "BCM_STAT" || ign.StartBit != 0 || ign.Length != 4 {
+		t.Errorf("IGN_ST CAN packing = %+v", ign)
+	}
+	ill, _ := l.Lookup("int_ill") // case-insensitive
+	if ill == nil || ill.Direction != Out || ill.Pin != "INT_ILL_F" || ill.PinRet != "INT_ILL_R" {
+		t.Errorf("INT_ILL = %+v", ill)
+	}
+}
+
+func TestPins(t *testing.T) {
+	l := paperList(t)
+	ill, _ := l.Lookup("INT_ILL")
+	p := ill.Pins()
+	if len(p) != 2 || p[0] != "INT_ILL_F" || p[1] != "INT_ILL_R" {
+		t.Errorf("INT_ILL pins = %v", p)
+	}
+	ds, _ := l.Lookup("DS_FL")
+	if p := ds.Pins(); len(p) != 1 || p[0] != "DS_FL" {
+		t.Errorf("DS_FL pins = %v", p)
+	}
+	can, _ := l.Lookup("NIGHT")
+	if p := can.Pins(); p != nil {
+		t.Errorf("CAN signal pins = %v, want nil", p)
+	}
+}
+
+func TestAllPins(t *testing.T) {
+	l := paperList(t)
+	pins := l.AllPins()
+	// The six pins of the paper's connection matrix (Table 4).
+	want := []string{"DS_FL", "DS_FR", "DS_RL", "DS_RR", "INT_ILL_F", "INT_ILL_R"}
+	if len(pins) != len(want) {
+		t.Fatalf("AllPins = %v", pins)
+	}
+	set := map[string]bool{}
+	for _, p := range pins {
+		set[p] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("AllPins lacks %q: %v", w, pins)
+		}
+	}
+}
+
+func TestInputsOutputs(t *testing.T) {
+	l := paperList(t)
+	if got := len(l.Inputs()); got != 6 {
+		t.Errorf("Inputs = %d, want 6", got)
+	}
+	out := l.Outputs()
+	if len(out) != 1 || out[0].Name != "INT_ILL" {
+		t.Errorf("Outputs = %v", out)
+	}
+}
+
+func TestValidateAgainstPaperStatuses(t *testing.T) {
+	l := paperList(t)
+	if err := l.ValidateAgainst(paperStatuses(t)); err != nil {
+		t.Errorf("ValidateAgainst: %v", err)
+	}
+}
+
+func TestCheckAssignmentDirection(t *testing.T) {
+	l := paperList(t)
+	tbl := paperStatuses(t)
+	ill, _ := l.Lookup("INT_ILL")
+	// Applying a stimulus status to an output must fail.
+	if err := CheckAssignment(ill, "Open", tbl); err == nil {
+		t.Error("stimulus on DUT output accepted")
+	}
+	// Measuring an input must fail.
+	ds, _ := l.Lookup("DS_FL")
+	if err := CheckAssignment(ds, "Ho", tbl); err == nil {
+		t.Error("measurement on DUT input accepted")
+	}
+	// Correct usage passes.
+	if err := CheckAssignment(ill, "Ho", tbl); err != nil {
+		t.Errorf("Ho on INT_ILL rejected: %v", err)
+	}
+	if err := CheckAssignment(ds, "Open", tbl); err != nil {
+		t.Errorf("Open on DS_FL rejected: %v", err)
+	}
+}
+
+func TestCheckAssignmentClass(t *testing.T) {
+	l := paperList(t)
+	tbl := paperStatuses(t)
+	// CAN status on an electrical signal must fail.
+	ds, _ := l.Lookup("DS_FL")
+	if err := CheckAssignment(ds, "Off", tbl); err == nil {
+		t.Error("CAN status on electrical signal accepted")
+	}
+	// Electrical status on a CAN signal must fail.
+	night, _ := l.Lookup("NIGHT")
+	if err := CheckAssignment(night, "Open", tbl); err == nil {
+		t.Error("electrical status on CAN signal accepted")
+	}
+	// Unknown status.
+	if err := CheckAssignment(ds, "Sideways", tbl); err == nil ||
+		!strings.Contains(err.Error(), "unknown status") {
+		t.Errorf("unknown status error = %v", err)
+	}
+}
+
+func TestValidateAgainstDetectsBadInit(t *testing.T) {
+	wb, _ := sheet.ReadWorkbookString(`== S ==
+signal;direction;class;pin;init
+DS_FL;in;digital;DS_FL;Ho
+`)
+	l, err := ParseSheet(wb.Sheet("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ValidateAgainst(paperStatuses(t)); err == nil {
+		t.Error("measurement status as init of an input accepted")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		sig  *Signal
+		want string
+	}{
+		{"no name", &Signal{}, "without name"},
+		{"no pin", &Signal{Name: "X", Class: Analog}, "no pin"},
+		{"no message", &Signal{Name: "X", Class: CANSignal, Length: 4}, "no message"},
+		{"bad length", &Signal{Name: "X", Class: CANSignal, Message: "M", Length: 0}, "invalid length"},
+		{"bits overflow", &Signal{Name: "X", Class: CANSignal, Message: "M", StartBit: 62, Length: 4}, "invalid bit range"},
+	}
+	for _, c := range cases {
+		l := NewList()
+		err := l.Add(c.sig)
+		if err == nil {
+			t.Errorf("%s: Add succeeded", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDuplicateSignal(t *testing.T) {
+	l := NewList()
+	if err := l.Add(&Signal{Name: "A", Class: Digital, Pin: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(&Signal{Name: "a", Class: Digital, Pin: "A2"}); err == nil {
+		t.Error("duplicate signal accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"== S ==\nfoo;bar\n", // missing columns
+		"== S ==\nsignal;direction;class\nX;sideways;analog\n",                            // bad direction
+		"== S ==\nsignal;direction;class\nX;in;quantum\n",                                 // bad class
+		"== S ==\nsignal;direction;class\n",                                               // empty table
+		"== S ==\nsignal;direction;class;pin;message;startbit;length\nX;in;can;;M;zz;4\n", // bad int
+	}
+	for _, in := range bad {
+		wb, err := sheet.ReadWorkbookString(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseSheet(wb.Sheet("S")); err == nil {
+			t.Errorf("ParseSheet(%q) succeeded", in)
+		}
+	}
+	if _, err := ParseSheet(nil); err == nil {
+		t.Error("ParseSheet(nil) succeeded")
+	}
+}
+
+func TestToSheetRoundTrip(t *testing.T) {
+	l := paperList(t)
+	out := l.ToSheet("SignalDefinition")
+	l2, err := ParseSheet(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if l2.Len() != l.Len() {
+		t.Fatalf("round-trip length %d != %d", l2.Len(), l.Len())
+	}
+	for _, name := range l.Names() {
+		a, _ := l.Lookup(name)
+		b, ok := l2.Lookup(name)
+		if !ok {
+			t.Fatalf("signal %q lost", name)
+		}
+		if a.Direction != b.Direction || a.Class != b.Class || a.Pin != b.Pin ||
+			a.PinRet != b.PinRet || a.Message != b.Message ||
+			a.StartBit != b.StartBit || a.Length != b.Length || a.Init != b.Init {
+			t.Errorf("signal %q changed: %+v vs %+v", name, a, b)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if In.String() != "in" || Out.String() != "out" {
+		t.Error("Direction.String() wrong")
+	}
+	if Analog.String() != "analog" || Digital.String() != "digital" || CANSignal.String() != "can" {
+		t.Error("Class.String() wrong")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown Class.String() empty")
+	}
+}
+
+func TestMethodClass(t *testing.T) {
+	if Analog.MethodClass() != method.Electrical || Digital.MethodClass() != method.Electrical {
+		t.Error("electrical MethodClass wrong")
+	}
+	if CANSignal.MethodClass() != method.CAN {
+		t.Error("CAN MethodClass wrong")
+	}
+	if !Analog.Electrical() || !Digital.Electrical() || CANSignal.Electrical() {
+		t.Error("Electrical() wrong")
+	}
+}
+
+func TestMotorolaByteOrderColumn(t *testing.T) {
+	wb, _ := sheet.ReadWorkbookString(`== S ==
+signal;direction;class;pin;message;startbit;length;order
+TQ;in;can;;ENG_CMD;7;12;motorola
+V;in;can;;ENG_CMD;32;8;
+`)
+	l, err := ParseSheet(wb.Sheet("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq, _ := l.Lookup("TQ")
+	if tq.ByteOrder != canbus.Motorola {
+		t.Errorf("TQ byte order = %v", tq.ByteOrder)
+	}
+	v, _ := l.Lookup("V")
+	if v.ByteOrder != canbus.Intel {
+		t.Errorf("V byte order = %v (default must be intel)", v.ByteOrder)
+	}
+	// Round trip through ToSheet.
+	l2, err := ParseSheet(l.ToSheet("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq2, _ := l2.Lookup("TQ")
+	if tq2.ByteOrder != canbus.Motorola {
+		t.Error("byte order lost in sheet round trip")
+	}
+	// A Motorola signal whose sawtooth leaves the frame is rejected;
+	// note start 62 length 4 is VALID in Motorola (bits 62,61,60,59)
+	// even though it is invalid in Intel.
+	lOK := NewList()
+	if err := lOK.Add(&Signal{Name: "A", Class: CANSignal, Message: "M",
+		StartBit: 62, Length: 4, ByteOrder: canbus.Motorola}); err != nil {
+		t.Errorf("valid motorola signal rejected: %v", err)
+	}
+	lBad := NewList()
+	if err := lBad.Add(&Signal{Name: "B", Class: CANSignal, Message: "M",
+		StartBit: 0, Length: 64, ByteOrder: canbus.Motorola}); err == nil {
+		t.Error("out-of-frame motorola signal accepted")
+	}
+	// Bad order column.
+	wb2, _ := sheet.ReadWorkbookString("== S ==\nsignal;direction;class;message;length;order\nX;in;can;M;4;middle\n")
+	if _, err := ParseSheet(wb2.Sheet("S")); err == nil {
+		t.Error("bad byte order accepted")
+	}
+}

@@ -1,0 +1,268 @@
+package stand
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/method"
+	"repro/internal/paper"
+	"repro/internal/resource"
+	"repro/internal/script"
+	"repro/internal/sheet"
+	"repro/internal/topology"
+	"repro/internal/unit"
+)
+
+// Harness lists the DUT pins a stand profile must be able to reach:
+// Forward pins carry stimuli and forward measurement terminals, Return
+// pins are measurement return lines.
+type Harness struct {
+	Forward []string
+	Return  []string
+}
+
+// HarnessFromScript derives the harness from a script's declarations.
+func HarnessFromScript(sc *script.Script) Harness {
+	var h Harness
+	seenF := map[string]bool{}
+	seenR := map[string]bool{}
+	for _, d := range sc.Decls {
+		if d.Pin != "" && !seenF[d.Pin] {
+			seenF[d.Pin] = true
+			h.Forward = append(h.Forward, d.Pin)
+		}
+		if d.PinRet != "" && !seenR[d.PinRet] {
+			seenR[d.PinRet] = true
+			h.Return = append(h.Return, d.PinRet)
+		}
+	}
+	return h
+}
+
+// PaperConfig returns the stand of the paper's Section 4 example: the
+// resource table (Table 3) and connection matrix (Table 4) verbatim, plus
+// one CAN adapter. Table 3 lists only the electrical resources, but the
+// example test transmits IGN_ST and NIGHT with put_can, so a CAN
+// interface is implied; EXPERIMENTS.md records this addition.
+func PaperConfig(reg *method.Registry) (Config, error) {
+	wb, err := sheet.ReadWorkbookString(paper.StandSheets)
+	if err != nil {
+		return Config{}, err
+	}
+	cat, err := resource.ParseSheet(wb.Sheet("Resources"), reg)
+	if err != nil {
+		return Config{}, err
+	}
+	if err := cat.Add(canAdapter("CAN1")); err != nil {
+		return Config{}, err
+	}
+	m, err := topology.ParseSheet(wb.Sheet("Connections"))
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Name: "paper_stand", UbattVolts: 12, Catalog: cat, Matrix: m}, nil
+}
+
+func canAdapter(id string) *resource.Resource {
+	return &resource.Resource{ID: id, Kind: resource.CANAdapter,
+		Caps: []resource.Capability{
+			{Method: "put_can", Range: resource.Unbounded(unit.Bit)},
+			{Method: "get_can", Range: resource.Unbounded(unit.Bit)},
+		}}
+}
+
+// matrixBuilder hands out unique relay/mux element names.
+type matrixBuilder struct {
+	m     *topology.Matrix
+	group int
+}
+
+func newMatrixBuilder() *matrixBuilder { return &matrixBuilder{m: topology.NewMatrix()} }
+
+// relay adds an independent relay between resource and pin landing on the
+// given instrument terminal (1 or 2).
+func (b *matrixBuilder) relay(res, pin string, terminal int) error {
+	b.group++
+	return b.m.Add(res, pin, "Sw"+strconv.Itoa(b.group)+"."+strconv.Itoa(terminal))
+}
+
+// mux adds one position of a per-pin multiplexer.
+func (b *matrixBuilder) mux(group int, pos int, res, pin string) error {
+	return b.m.Add(res, pin, "Mx"+strconv.Itoa(group)+"."+strconv.Itoa(pos))
+}
+
+// FullLab is a generously equipped development stand: full relay crossbar
+// from every instrument to every pin. Everything a script can ask for is
+// available.
+func FullLab(reg *method.Registry, h Harness) (Config, error) {
+	cat := resource.NewCatalog()
+	add := func(r *resource.Resource) error { return cat.Add(r) }
+	specs := []*resource.Resource{
+		{ID: "DVM1", Caps: []resource.Capability{
+			{Method: "get_u", Range: unit.NewRange(-100, 100, unit.Volt)},
+			{Method: "get_r", Range: unit.NewRange(0, math.Inf(1), unit.Ohm)},
+		}},
+		{ID: "DVM2", Caps: []resource.Capability{
+			{Method: "get_u", Range: unit.NewRange(-100, 100, unit.Volt)},
+			{Method: "get_r", Range: unit.NewRange(0, math.Inf(1), unit.Ohm)},
+		}},
+		{ID: "CNT1", Kind: resource.Counter, Caps: []resource.Capability{
+			{Method: "get_t", Range: unit.NewRange(0, 3600, unit.Second)},
+			{Method: "get_f", Range: unit.NewRange(0, 1e5, unit.Hertz)},
+		}},
+		{ID: "DEC1", Caps: []resource.Capability{
+			{Method: "put_r", Range: unit.NewRange(0, 1e6, unit.Ohm)}}},
+		{ID: "DEC2", Caps: []resource.Capability{
+			{Method: "put_r", Range: unit.NewRange(0, 1e6, unit.Ohm)}}},
+		{ID: "PS1", Caps: []resource.Capability{
+			{Method: "put_u", Range: unit.NewRange(0, 30, unit.Volt)}}},
+		{ID: "LOAD1", Caps: []resource.Capability{
+			{Method: "put_i", Range: unit.NewRange(0, 10, unit.Ampere)}}},
+		{ID: "PWM1", Caps: []resource.Capability{
+			{Method: "put_pwm", Range: unit.NewRange(0, 2e4, unit.Hertz)}}},
+		canAdapter("CAN1"),
+	}
+	for _, r := range specs {
+		if err := add(r); err != nil {
+			return Config{}, err
+		}
+	}
+	b := newMatrixBuilder()
+	for _, r := range specs {
+		if !r.Electrical() {
+			continue
+		}
+		for _, pin := range h.Forward {
+			if err := b.relay(r.ID, pin, 1); err != nil {
+				return Config{}, err
+			}
+		}
+		if r.Terminals() >= 2 {
+			for _, pin := range h.Return {
+				if err := b.relay(r.ID, pin, 2); err != nil {
+					return Config{}, err
+				}
+			}
+		}
+	}
+	return Config{Name: "full_lab", UbattVolts: 12, Catalog: cat, Matrix: b.m}, nil
+}
+
+// MiniBench is a supplier's desk setup: one small DVM, one 200 kΩ decade,
+// one CAN adapter. Tests needing supplies, counters, PWM, electronic
+// loads, large resistances or two simultaneous decades cannot run here —
+// the negative cases of the reuse experiment.
+func MiniBench(reg *method.Registry, h Harness) (Config, error) {
+	cat := resource.NewCatalog()
+	specs := []*resource.Resource{
+		{ID: "DVM1", Caps: []resource.Capability{
+			{Method: "get_u", Range: unit.NewRange(-60, 60, unit.Volt)}}},
+		{ID: "DEC1", Caps: []resource.Capability{
+			{Method: "put_r", Range: unit.NewRange(0, 2e5, unit.Ohm)}}},
+		canAdapter("CAN1"),
+	}
+	for _, r := range specs {
+		if err := cat.Add(r); err != nil {
+			return Config{}, err
+		}
+	}
+	b := newMatrixBuilder()
+	for _, pin := range h.Forward {
+		if err := b.relay("DVM1", pin, 1); err != nil {
+			return Config{}, err
+		}
+		if err := b.relay("DEC1", pin, 1); err != nil {
+			return Config{}, err
+		}
+	}
+	for _, pin := range h.Return {
+		if err := b.relay("DVM1", pin, 2); err != nil {
+			return Config{}, err
+		}
+	}
+	return Config{Name: "mini_bench", UbattVolts: 12, Catalog: cat, Matrix: b.m}, nil
+}
+
+// HILRack is an OEM integration rack: per-pin stimulus multiplexers
+// (each forward pin selects ONE of decade 1, decade 2 or the supply at a
+// time) and an independently switched DVM. Mux exclusivity makes this the
+// interesting stand for the allocator ablation.
+func HILRack(reg *method.Registry, h Harness) (Config, error) {
+	cat := resource.NewCatalog()
+	specs := []*resource.Resource{
+		{ID: "DVM1", Caps: []resource.Capability{
+			{Method: "get_u", Range: unit.NewRange(-60, 60, unit.Volt)},
+			{Method: "get_r", Range: unit.NewRange(0, math.Inf(1), unit.Ohm)},
+		}},
+		{ID: "DVM2", Caps: []resource.Capability{
+			{Method: "get_u", Range: unit.NewRange(-60, 60, unit.Volt)},
+			{Method: "get_r", Range: unit.NewRange(0, math.Inf(1), unit.Ohm)},
+		}},
+		{ID: "CNT1", Kind: resource.Counter, Caps: []resource.Capability{
+			{Method: "get_t", Range: unit.NewRange(0, 600, unit.Second)},
+			{Method: "get_f", Range: unit.NewRange(0, 2e4, unit.Hertz)},
+		}},
+		{ID: "DEC1", Caps: []resource.Capability{
+			{Method: "put_r", Range: unit.NewRange(0, 1e6, unit.Ohm)}}},
+		{ID: "DEC2", Caps: []resource.Capability{
+			{Method: "put_r", Range: unit.NewRange(0, 1e6, unit.Ohm)}}},
+		{ID: "PS1", Caps: []resource.Capability{
+			{Method: "put_u", Range: unit.NewRange(0, 16, unit.Volt)}}},
+		canAdapter("CAN1"),
+	}
+	for _, r := range specs {
+		if err := cat.Add(r); err != nil {
+			return Config{}, err
+		}
+	}
+	b := newMatrixBuilder()
+	for i, pin := range h.Forward {
+		group := i + 1
+		if err := b.mux(group, 1, "DEC1", pin); err != nil {
+			return Config{}, err
+		}
+		if err := b.mux(group, 2, "DEC2", pin); err != nil {
+			return Config{}, err
+		}
+		if err := b.mux(group, 3, "PS1", pin); err != nil {
+			return Config{}, err
+		}
+		for _, meter := range []string{"DVM1", "DVM2", "CNT1"} {
+			if err := b.relay(meter, pin, 1); err != nil {
+				return Config{}, err
+			}
+		}
+	}
+	for _, pin := range h.Return {
+		for _, meter := range []string{"DVM1", "DVM2", "CNT1"} {
+			if err := b.relay(meter, pin, 2); err != nil {
+				return Config{}, err
+			}
+		}
+	}
+	return Config{Name: "hil_rack", UbattVolts: 13.5, Catalog: cat, Matrix: b.m}, nil
+}
+
+// Profiles builds the three cross-stand profiles for a harness — the
+// reuse experiment's stand population.
+func Profiles(reg *method.Registry, h Harness) ([]Config, error) {
+	var out []Config
+	for _, build := range []func(*method.Registry, Harness) (Config, error){FullLab, MiniBench, HILRack} {
+		cfg, err := build(reg, h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// MustNew is New that panics on error; for examples and benchmarks.
+func MustNew(cfg Config, reg *method.Registry) *Stand {
+	s, err := New(cfg, reg)
+	if err != nil {
+		panic(fmt.Sprintf("stand: %v", err))
+	}
+	return s
+}

@@ -1,0 +1,658 @@
+// Package stand implements the simulated test stand: the interpreter of
+// the paper's Section 4. A stand owns a resource catalog and a connection
+// matrix; given a generated XML test script it allocates resources per
+// step, drives the stimuli into the simulated electrical network and CAN
+// bus, lets the attached DUT model react in simulated time, measures the
+// outputs and produces a verdict report.
+//
+// Execution semantics (documented in DESIGN.md):
+//
+//   - The init block's stimuli are applied before step 0, followed by a
+//     settle time.
+//   - In each step, stimuli are applied at the step start; stimuli
+//     persist across steps until reassigned (a put_r of INF releases its
+//     decade — opening the route realises the infinite resistance).
+//   - After the step duration dt has elapsed, the step's measurement
+//     statements are evaluated against the settled state. Timing methods
+//     (get_t, get_f) sample the pin during the whole step instead.
+//   - If allocation fails for a step, the step's statements are reported
+//     as ERROR verdicts (the paper's "error message") and execution
+//     continues with the previous stimulus state.
+package stand
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/analog"
+	"repro/internal/canbus"
+	"repro/internal/ecu"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/method"
+	"repro/internal/report"
+	"repro/internal/resource"
+	"repro/internal/script"
+	"repro/internal/topology"
+	"repro/internal/unit"
+)
+
+// Config describes one test stand.
+type Config struct {
+	// Name identifies the stand in reports.
+	Name string
+	// UbattVolts is the DUT supply voltage — the stand variable "ubatt"
+	// referenced by limit expressions such as (1.1*ubatt).
+	UbattVolts float64
+	// Catalog and Matrix are the stand's resources and wiring.
+	Catalog *resource.Catalog
+	Matrix  *topology.Matrix
+	// Strategy selects the allocator (default Backtracking).
+	Strategy alloc.Strategy
+	// SettleTime is the pause after applying the init block before step 0
+	// (default 100 ms).
+	SettleTime time.Duration
+}
+
+// Stand is a built test stand with an attached DUT.
+type Stand struct {
+	cfg   Config
+	reg   *method.Registry
+	sched *event.Scheduler
+	net   *analog.Network
+	bus   *canbus.Bus
+	db    *canbus.DB
+	env   expr.MapEnv
+
+	instruments map[string]*instrument    // by lower resource id
+	switches    map[string]*analog.Switch // by element name
+	monitor     *canbus.Monitor
+	tx          *canbus.TxGroup
+	alloc       *alloc.Allocator
+
+	dut    ecu.ECU
+	ticker *ecu.Ticker
+
+	// held maps lower signal name → persistent stimulus state.
+	held map[string]*heldStimulus
+
+	// stats for benchmarking/EXPERIMENTS.
+	Allocations uint64
+	Solves      uint64
+}
+
+type heldStimulus struct {
+	stmt *script.SignalStmt
+	decl *script.SignalDecl
+	res  string // resource id currently serving it ("" for disconnect/CAN)
+}
+
+// instrument is the electrical realisation of a catalog resource.
+type instrument struct {
+	res    *resource.Resource
+	nodes  []analog.NodeID // terminal nodes (len == Terminals())
+	decade *analog.Resistor
+	source *analog.VSource
+	eload  *analog.ISource
+	loGnd  *analog.Switch // ties terminal 2 to ground for single-ended use
+	pwm    *pwmDrive
+}
+
+// pwmDrive realises put_pwm: it toggles a voltage source on the event
+// clock, producing a square wave the DUT (or a counter via get_f) sees.
+type pwmDrive struct {
+	sched   *event.Scheduler
+	src     *analog.VSource
+	running bool
+	period  time.Duration
+	onTime  time.Duration
+	stopped bool
+	next    *event.Event
+}
+
+// Start (re)programs the waveform: frequency in Hz, duty in percent.
+func (p *pwmDrive) Start(volts, freq, duty float64) error {
+	if freq <= 0 || duty < 0 || duty > 100 {
+		return fmt.Errorf("stand: implausible PWM f=%v duty=%v", freq, duty)
+	}
+	p.Stop()
+	p.src.SetVolts(volts)
+	p.period = time.Duration(float64(time.Second) / freq)
+	p.onTime = time.Duration(float64(p.period) * duty / 100)
+	p.stopped = false
+	p.running = true
+	p.phaseOn()
+	return nil
+}
+
+func (p *pwmDrive) phaseOn() {
+	if p.stopped {
+		return
+	}
+	p.src.SetEnabled(p.onTime > 0)
+	p.next = p.sched.After(p.onTime, p.phaseOff)
+}
+
+func (p *pwmDrive) phaseOff() {
+	if p.stopped {
+		return
+	}
+	p.src.SetEnabled(false)
+	p.next = p.sched.After(p.period-p.onTime, p.phaseOn)
+}
+
+// Stop ends the waveform and releases the pin.
+func (p *pwmDrive) Stop() {
+	p.stopped = true
+	p.running = false
+	if p.next != nil {
+		p.next.Cancel()
+		p.next = nil
+	}
+	p.src.SetEnabled(false)
+}
+
+// DVMInputOhms is the simulated meter input impedance.
+const DVMInputOhms = 10e6
+
+// New builds a stand from its configuration. The method registry defines
+// the interpretable language.
+func New(cfg Config, reg *method.Registry) (*Stand, error) {
+	if cfg.Catalog == nil || cfg.Matrix == nil {
+		return nil, fmt.Errorf("stand %q: needs catalog and matrix", cfg.Name)
+	}
+	if cfg.UbattVolts <= 0 {
+		return nil, fmt.Errorf("stand %q: implausible supply voltage %v", cfg.Name, cfg.UbattVolts)
+	}
+	if cfg.SettleTime <= 0 {
+		cfg.SettleTime = 100 * time.Millisecond
+	}
+	s := &Stand{
+		cfg:         cfg,
+		reg:         reg,
+		sched:       &event.Scheduler{},
+		net:         analog.NewNetwork(),
+		db:          canbus.NewDB(),
+		env:         expr.MapEnv{"ubatt": cfg.UbattVolts},
+		instruments: map[string]*instrument{},
+		switches:    map[string]*analog.Switch{},
+		held:        map[string]*heldStimulus{},
+	}
+	s.bus = canbus.NewBus(s.sched)
+	s.monitor = canbus.NewMonitor()
+	standNode := s.bus.Attach("stand:"+cfg.Name, s.monitor.Rx)
+	s.tx = canbus.NewTxGroup(standNode, s.db, 20*time.Millisecond, s.sched)
+
+	ubatt := s.net.Node("ubatt")
+	s.net.AddVSource("battery", ubatt, analog.Ground, cfg.UbattVolts)
+
+	for _, res := range cfg.Catalog.Resources() {
+		inst := &instrument{res: res}
+		for t := 0; t < res.Terminals(); t++ {
+			inst.nodes = append(inst.nodes, s.net.Node(fmt.Sprintf("res.%s.t%d", res.ID, t+1)))
+		}
+		switch res.Kind {
+		case resource.ResistorDecade:
+			inst.decade = s.net.AddResistor("inst."+res.ID, inst.nodes[0], analog.Ground, math.Inf(1))
+		case resource.PowerSupply:
+			inst.source = s.net.AddVSource("inst."+res.ID, inst.nodes[0], analog.Ground, 0)
+			inst.source.SetEnabled(false)
+		case resource.ELoad:
+			inst.eload = s.net.AddISource("inst."+res.ID, analog.Ground, inst.nodes[0], 0)
+			inst.eload.SetEnabled(false)
+		case resource.PWMGenerator:
+			inst.source = s.net.AddVSource("inst."+res.ID, inst.nodes[0], analog.Ground, 0)
+			inst.source.SetEnabled(false)
+			inst.pwm = &pwmDrive{sched: s.sched, src: inst.source}
+		case resource.DVM, resource.Counter:
+			s.net.AddResistor("inst."+res.ID+".zin", inst.nodes[0], inst.nodes[1], DVMInputOhms)
+			inst.loGnd = s.net.AddSwitch("inst."+res.ID+".lognd", inst.nodes[1], analog.Ground)
+		}
+		s.instruments[strings.ToLower(res.ID)] = inst
+	}
+
+	for _, e := range cfg.Matrix.Entries() {
+		inst, ok := s.instruments[strings.ToLower(e.Resource)]
+		if !ok {
+			return nil, fmt.Errorf("stand %q: connection matrix references unknown resource %q", cfg.Name, e.Resource)
+		}
+		if !inst.res.Electrical() {
+			return nil, fmt.Errorf("stand %q: CAN adapter %q cannot appear in the connection matrix", cfg.Name, e.Resource)
+		}
+		term := alloc.TerminalOf(inst.res, e) - 1
+		if term >= len(inst.nodes) {
+			term = 0
+		}
+		sw := s.net.AddSwitch(e.Elem.Name, inst.nodes[term], s.net.Node(e.Pin))
+		s.switches[e.Elem.Name] = sw
+	}
+
+	s.alloc = &alloc.Allocator{Catalog: cfg.Catalog, Matrix: cfg.Matrix,
+		Env: s.env, Strategy: cfg.Strategy}
+	return s, nil
+}
+
+// Name returns the stand name.
+func (s *Stand) Name() string { return s.cfg.Name }
+
+// Scheduler exposes the simulated clock (examples use it for timing).
+func (s *Stand) Scheduler() *event.Scheduler { return s.sched }
+
+// Bus exposes the stand's CAN bus so tests and examples can attach
+// listeners.
+func (s *Stand) Bus() *canbus.Bus { return s.bus }
+
+// Env returns the stand variable environment (ubatt …).
+func (s *Stand) Env() expr.MapEnv { return s.env }
+
+// AttachDUT wires a DUT model into the stand and starts its task ticker.
+func (s *Stand) AttachDUT(dut ecu.ECU) error {
+	if s.dut != nil {
+		return fmt.Errorf("stand %q: a DUT is already attached", s.cfg.Name)
+	}
+	env := &ecu.Env{
+		Net: s.net, Sched: s.sched, Bus: s.bus, DB: s.db,
+		UbattVolts: s.cfg.UbattVolts, UbattNode: s.net.Node("ubatt"),
+	}
+	if err := dut.Attach(env); err != nil {
+		return err
+	}
+	s.dut = dut
+	s.ticker = ecu.StartTicker(dut, env)
+	return nil
+}
+
+// DUT returns the attached model, or nil.
+func (s *Stand) DUT() ecu.ECU { return s.dut }
+
+// CanRun reports whether the stand can execute the script at all: every
+// method used must be offered by some resource (or need none). It is the
+// static portion of the paper's portability claim; reuse.Analyze builds
+// on it.
+func (s *Stand) CanRun(sc *script.Script) error {
+	if err := script.Validate(sc, s.reg); err != nil {
+		return err
+	}
+	for _, m := range sc.UsedMethods() {
+		d, _ := s.reg.Lookup(m)
+		if d.Kind == method.Control {
+			continue
+		}
+		if len(s.cfg.Catalog.Candidates(m)) == 0 {
+			return fmt.Errorf("stand %q: no resource supports method %s", s.cfg.Name, m)
+		}
+	}
+	return nil
+}
+
+// Run executes the script and returns the verdict report.
+func (s *Stand) Run(sc *script.Script) *report.Report {
+	rep := &report.Report{Script: sc.Name, Stand: s.cfg.Name}
+	if s.dut != nil {
+		rep.DUT = s.dut.Name()
+	}
+	if err := script.Validate(sc, s.reg); err != nil {
+		rep.FatalErr = err.Error()
+		return rep
+	}
+	s.resetRun()
+
+	// Init block: apply all initial stimuli at once, then settle.
+	if len(sc.Init) > 0 {
+		if _, err := s.applyStep(sc, sc.Init, nil, nil); err != nil {
+			rep.FatalErr = fmt.Sprintf("init: %v", err)
+			return rep
+		}
+	}
+	s.sched.Advance(s.cfg.SettleTime)
+
+	for _, step := range sc.Steps {
+		res := s.runStep(sc, step)
+		rep.Steps = append(rep.Steps, res)
+	}
+	return rep
+}
+
+// resetRun restores power-on state between script executions.
+func (s *Stand) resetRun() {
+	for _, sw := range s.switches {
+		sw.SetClosed(false)
+	}
+	for _, inst := range s.instruments {
+		if inst.decade != nil {
+			inst.decade.SetOhms(math.Inf(1))
+		}
+		if inst.source != nil {
+			inst.source.SetEnabled(false)
+		}
+		if inst.eload != nil {
+			inst.eload.SetEnabled(false)
+		}
+		if inst.loGnd != nil {
+			inst.loGnd.SetClosed(false)
+		}
+		if inst.pwm != nil {
+			inst.pwm.Stop()
+		}
+	}
+	s.held = map[string]*heldStimulus{}
+	if s.dut != nil {
+		s.dut.Reset()
+	}
+}
+
+// runStep executes one step: apply stimuli, advance dt, measure.
+func (s *Stand) runStep(sc *script.Script, step *script.Step) report.StepResult {
+	res := report.StepResult{Nr: step.Nr, Dt: step.Dt, Remark: step.Remark}
+
+	var stimuli, measures []*script.SignalStmt
+	extraWait := 0.0
+	for _, st := range step.Signals {
+		d, _ := s.reg.Lookup(st.Call.Method)
+		switch d.Kind {
+		case method.Stimulus:
+			stimuli = append(stimuli, st)
+		case method.Measure:
+			measures = append(measures, st)
+		case method.Control:
+			if t, ok := st.Call.Attr("t"); ok {
+				if f, err := unit.ParseNumber(t); err == nil {
+					extraWait += f
+				}
+			}
+		}
+	}
+
+	plan, allocErr := s.applyStep(sc, stimuli, measures, &res)
+
+	// Timing measurements sample during the step.
+	var samplers map[*script.SignalStmt]*sampler
+	if allocErr == nil {
+		samplers = s.startSamplers(measures, plan)
+	}
+
+	dt := step.Dt + extraWait
+	s.sched.Advance(time.Duration(dt * float64(time.Second)))
+
+	for _, sam := range samplers {
+		sam.stop()
+	}
+
+	if allocErr != nil {
+		// The paper's error path: every statement of the step becomes an
+		// ERROR verdict, execution continues.
+		for _, st := range step.Signals {
+			res.Checks = append(res.Checks, report.Check{
+				Signal: st.Name, Method: st.Call.Method,
+				Expected: s.expectation(st), Measured: "-",
+				Verdict: report.Error, Detail: allocErr.Error(),
+			})
+		}
+		return res
+	}
+
+	for _, st := range measures {
+		res.Checks = append(res.Checks, s.measure(sc, st, plan, samplers))
+	}
+	return res
+}
+
+// applyStep allocates the step's complete demand — the held persistent
+// stimuli, the step's new stimuli and the step's measurements — and
+// programs the instruments. Preferences keep unchanged signals on their
+// previous resources. Measurement assignments are transient; stimulus
+// assignments update the held state.
+func (s *Stand) applyStep(sc *script.Script, stimuli, measures []*script.SignalStmt, res *report.StepResult) (*alloc.Plan, error) {
+	// Merge: new stimuli override held ones per signal.
+	merged := map[string]*script.SignalStmt{}
+	order := []string{}
+	for key, h := range s.held {
+		merged[key] = h.stmt
+		order = append(order, key)
+	}
+	sort.Strings(order) // deterministic carryover order
+	for _, st := range stimuli {
+		key := strings.ToLower(st.Name)
+		if _, seen := merged[key]; !seen {
+			order = append(order, key)
+		}
+		merged[key] = st
+	}
+	stimulusKeys := map[string]bool{}
+	for _, key := range order {
+		stimulusKeys[key] = true
+	}
+	for _, st := range measures {
+		key := strings.ToLower(st.Name)
+		if stimulusKeys[key] {
+			return nil, fmt.Errorf("signal %q is both stimulated and measured in one step", st.Name)
+		}
+		merged[key] = st
+		order = append(order, key)
+	}
+
+	var reqs []alloc.Request
+	prefer := map[string]string{}
+	for _, key := range order {
+		st := merged[key]
+		decl := sc.Decl(st.Name)
+		if decl == nil {
+			return nil, fmt.Errorf("undeclared signal %q", st.Name)
+		}
+		d, ok := s.reg.Lookup(st.Call.Method)
+		if !ok {
+			return nil, fmt.Errorf("unknown method %q", st.Call.Method)
+		}
+		reqs = append(reqs, alloc.Request{
+			Signal: st.Name, Method: d, Attrs: st.Call.Attrs, Pins: declPins(decl),
+		})
+		if h, ok := s.held[key]; ok && h.res != "" {
+			prefer[key] = h.res
+		}
+	}
+
+	s.Allocations++
+	plan, err := s.alloc.Allocate(reqs, prefer)
+	if err != nil {
+		return nil, err
+	}
+
+	// Desired switch closures.
+	want := map[string]bool{}
+	inUse := map[string]bool{}
+	for _, a := range plan.Assignments {
+		for _, e := range a.Entries {
+			want[e.Elem.Name] = true
+		}
+		if a.Resource != nil {
+			inUse[strings.ToLower(a.Resource.ID)] = true
+		}
+	}
+	for name, sw := range s.switches {
+		sw.SetClosed(want[name])
+	}
+	// Released PWM generators stop toggling (their switch is open anyway,
+	// but a running waveform would needlessly dirty the network).
+	for id, inst := range s.instruments {
+		if inst.pwm != nil && inst.pwm.running && !inUse[id] {
+			inst.pwm.Stop()
+		}
+	}
+
+	// Program the instruments; stimuli update the held state.
+	for i := range plan.Assignments {
+		a := &plan.Assignments[i]
+		key := strings.ToLower(a.Request.Signal)
+		st := merged[key]
+		if err := s.program(a, st, sc.Decl(st.Name), res); err != nil {
+			return nil, err
+		}
+		if stimulusKeys[key] {
+			s.held[key] = &heldStimulus{
+				stmt: st, decl: sc.Decl(st.Name), res: resID(a.Resource),
+			}
+		}
+	}
+	return plan, nil
+}
+
+func resID(r *resource.Resource) string {
+	if r == nil {
+		return ""
+	}
+	return r.ID
+}
+
+// program sets one instrument according to an assignment.
+func (s *Stand) program(a *alloc.Assignment, st *script.SignalStmt, decl *script.SignalDecl, res *report.StepResult) error {
+	logApply := func(via string) {
+		if res != nil {
+			res.Applied = append(res.Applied, fmt.Sprintf("%s %s(%s) via %s",
+				st.Name, st.Call.Method, attrString(st.Call.Attrs), via))
+		}
+	}
+	if a.Resource == nil {
+		if a.Disconnect() {
+			logApply("disconnect")
+		}
+		return nil
+	}
+	inst := s.instruments[strings.ToLower(a.Resource.ID)]
+	switch a.Resource.Kind {
+	case resource.ResistorDecade:
+		f, err := s.evalAttr(st.Call.Attrs["r"])
+		if err != nil {
+			return err
+		}
+		inst.decade.SetOhms(f)
+	case resource.PowerSupply:
+		f, err := s.evalAttr(st.Call.Attrs["u"])
+		if err != nil {
+			return err
+		}
+		inst.source.SetVolts(f)
+		inst.source.SetEnabled(true)
+	case resource.ELoad:
+		f, err := s.evalAttr(st.Call.Attrs["i"])
+		if err != nil {
+			return err
+		}
+		inst.eload.SetAmps(f)
+		inst.eload.SetEnabled(true)
+	case resource.PWMGenerator:
+		freq, err := s.evalAttr(st.Call.Attrs["f"])
+		if err != nil {
+			return err
+		}
+		duty, err := s.evalAttr(st.Call.Attrs["duty"])
+		if err != nil {
+			return err
+		}
+		if err := inst.pwm.Start(s.cfg.UbattVolts, freq, duty); err != nil {
+			return err
+		}
+	case resource.CANAdapter:
+		if st.Call.Method == "put_can" {
+			if decl == nil {
+				return fmt.Errorf("no declaration for CAN signal %q", st.Name)
+			}
+			v, _, err := unit.ParseBits(st.Call.Attrs["data"])
+			if err != nil {
+				return err
+			}
+			order, err := canbus.ParseByteOrder(decl.ByteOrder)
+			if err != nil {
+				return err
+			}
+			if err := s.tx.SetSignalOrder(order, decl.Message, decl.StartBit, decl.Length, v); err != nil {
+				return err
+			}
+		}
+	case resource.DVM, resource.Counter:
+		// Measurement instruments: single-ended use ties lo to ground.
+		if inst.loGnd != nil {
+			inst.loGnd.SetClosed(len(a.Entries) < 2)
+		}
+		return nil // nothing to program for measurements
+	}
+	logApply(a.Resource.ID)
+	return nil
+}
+
+// declPins extracts the electrical pins of a declaration.
+func declPins(d *script.SignalDecl) []string {
+	cls, err := parseClass(d.Class)
+	if err != nil || cls == classCAN {
+		return nil
+	}
+	if d.PinRet != "" {
+		return []string{d.Pin, d.PinRet}
+	}
+	return []string{d.Pin}
+}
+
+type classKind int
+
+const (
+	classElectrical classKind = iota
+	classCAN
+)
+
+func parseClass(c string) (classKind, error) {
+	switch strings.ToLower(strings.TrimSpace(c)) {
+	case "analog", "digital":
+		return classElectrical, nil
+	case "can":
+		return classCAN, nil
+	}
+	return classElectrical, fmt.Errorf("unknown class %q", c)
+}
+
+// evalAttr evaluates a numeric attribute value (number or expression).
+func (s *Stand) evalAttr(v string) (float64, error) {
+	if f, err := unit.ParseNumber(v); err == nil {
+		return f, nil
+	}
+	e, err := expr.Compile(v)
+	if err != nil {
+		return 0, err
+	}
+	return e.Eval(s.env)
+}
+
+// expectation renders the expected value of a statement for reports.
+func (s *Stand) expectation(st *script.SignalStmt) string {
+	d, ok := s.reg.Lookup(st.Call.Method)
+	if !ok {
+		return attrString(st.Call.Attrs)
+	}
+	lo, hasLo := st.Call.Attrs[d.RangeAttr+"_min"]
+	hi, hasHi := st.Call.Attrs[d.RangeAttr+"_max"]
+	if hasLo && hasHi {
+		flo, e1 := s.evalAttr(lo)
+		fhi, e2 := s.evalAttr(hi)
+		if e1 == nil && e2 == nil {
+			return fmt.Sprintf("[%s, %s] %s",
+				unit.FormatNumber(round6(flo)), unit.FormatNumber(round6(fhi)), d.Unit)
+		}
+		return fmt.Sprintf("[%s, %s]", lo, hi)
+	}
+	return attrString(st.Call.Attrs)
+}
+
+func attrString(attrs map[string]string) string {
+	names := make([]string, 0, len(attrs))
+	for n := range attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + "=" + attrs[n]
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,312 @@
+package status
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/method"
+	"repro/internal/sheet"
+)
+
+// paperStatusSheet is Table 2 of the paper, cell for cell (with the
+// min/max columns laid out per the package's documented semantics).
+const paperStatusSheet = `== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max;D 1;D 2;D 3
+Off;put_can;data;;0001B;;;;;
+Open;put_r;r;;0;0;0,5;2;;
+Closed;put_r;r;;INF;5000;INF;5000;;
+0;put_can;data;;0B;;;;;
+1;put_can;data;;1B;;;;;
+Lo;get_u;u;UBATT;0;0;0,3;;;
+Ho;get_u;u;UBATT;1;0,7;1,1;;;
+`
+
+func paperTable(t *testing.T) *Table {
+	t.Helper()
+	wb, err := sheet.ReadWorkbookString(paperStatusSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ParseSheet(wb.Sheet("StatusDefinition"), method.Builtin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestParsePaperTable(t *testing.T) {
+	tbl := paperTable(t)
+	if tbl.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tbl.Len())
+	}
+	want := []string{"Off", "Open", "Closed", "0", "1", "Lo", "Ho"}
+	got := tbl.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHoGeneratesPaperExpressions(t *testing.T) {
+	// The central transformation of the paper: status "Ho" becomes
+	// u_min="(0.7*ubatt)" u_max="(1.1*ubatt)".
+	tbl := paperTable(t)
+	ho, ok := tbl.Lookup("Ho")
+	if !ok {
+		t.Fatal("Ho missing")
+	}
+	attrs, err := ho.MethodCallAttrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["u_min"] != "(0.7*ubatt)" {
+		t.Errorf("u_min = %q, want (0.7*ubatt)", attrs["u_min"])
+	}
+	if attrs["u_max"] != "(1.1*ubatt)" {
+		t.Errorf("u_max = %q, want (1.1*ubatt)", attrs["u_max"])
+	}
+}
+
+func TestLoLimits(t *testing.T) {
+	tbl := paperTable(t)
+	lo, _ := tbl.Lookup("lo") // case-insensitive
+	lmin, lmax, err := lo.EvalLimits(expr.MapEnv{"ubatt": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lmin != 0 || math.Abs(lmax-3.6) > 1e-12 {
+		t.Errorf("Lo limits = [%v,%v], want [0,3.6]", lmin, lmax)
+	}
+}
+
+func TestHoLimitsTrackUbatt(t *testing.T) {
+	tbl := paperTable(t)
+	ho, _ := tbl.Lookup("Ho")
+	for _, ub := range []float64{9, 12, 14.2} {
+		lmin, lmax, err := ho.EvalLimits(expr.MapEnv{"ubatt": ub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lmin-0.7*ub) > 1e-9 || math.Abs(lmax-1.1*ub) > 1e-9 {
+			t.Errorf("Ho limits at ubatt=%v = [%v,%v], want [%v,%v]",
+				ub, lmin, lmax, 0.7*ub, 1.1*ub)
+		}
+	}
+}
+
+func TestStimulusValues(t *testing.T) {
+	tbl := paperTable(t)
+	open, _ := tbl.Lookup("Open")
+	v, err := open.StimulusValue()
+	if err != nil || v != 0 {
+		t.Errorf("Open stimulus = %v, %v; want 0", v, err)
+	}
+	closed, _ := tbl.Lookup("Closed")
+	v, err = closed.StimulusValue()
+	if err != nil || !math.IsInf(v, 1) {
+		t.Errorf("Closed stimulus = %v, %v; want +Inf", v, err)
+	}
+}
+
+func TestBitsValues(t *testing.T) {
+	tbl := paperTable(t)
+	off, _ := tbl.Lookup("Off")
+	v, w, err := off.BitsValue()
+	if err != nil || v != 1 || w != 4 {
+		t.Errorf("Off bits = (%v,%v,%v), want (1,4)", v, w, err)
+	}
+	one, _ := tbl.Lookup("1")
+	v, w, err = one.BitsValue()
+	if err != nil || v != 1 || w != 1 {
+		t.Errorf("1 bits = (%v,%v,%v)", v, w, err)
+	}
+}
+
+func TestPutRAttrs(t *testing.T) {
+	tbl := paperTable(t)
+	closed, _ := tbl.Lookup("Closed")
+	attrs, err := closed.MethodCallAttrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["r"] != "INF" {
+		t.Errorf("Closed r = %q, want INF", attrs["r"])
+	}
+	open, _ := tbl.Lookup("Open")
+	attrs, err = open.MethodCallAttrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["r"] != "0" {
+		t.Errorf("Open r = %q, want 0", attrs["r"])
+	}
+}
+
+func TestGermanDecimalNormalised(t *testing.T) {
+	// "0,3" in the sheet must come out as "0.3" in generated attributes.
+	tbl := paperTable(t)
+	lo, _ := tbl.Lookup("Lo")
+	attrs, err := lo.MethodCallAttrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(attrs["u_max"], ",") {
+		t.Errorf("u_max %q still contains a decimal comma", attrs["u_max"])
+	}
+	if attrs["u_max"] != "(0.3*ubatt)" {
+		t.Errorf("u_max = %q, want (0.3*ubatt)", attrs["u_max"])
+	}
+}
+
+func TestToSheetRoundTrip(t *testing.T) {
+	tbl := paperTable(t)
+	out := tbl.ToSheet("StatusDefinition")
+	tbl2, err := ParseSheet(out, method.Builtin())
+	if err != nil {
+		t.Fatalf("re-parse of ToSheet output: %v", err)
+	}
+	if tbl2.Len() != tbl.Len() {
+		t.Fatalf("round-trip length %d != %d", tbl2.Len(), tbl.Len())
+	}
+	for _, name := range tbl.Names() {
+		a, _ := tbl.Lookup(name)
+		b, ok := tbl2.Lookup(name)
+		if !ok {
+			t.Fatalf("status %q lost in round trip", name)
+		}
+		if a.Method != b.Method || a.Nom != b.Nom || a.Min != b.Min || a.Max != b.Max || a.Var != b.Var {
+			t.Errorf("status %q changed in round trip: %+v vs %+v", name, a, b)
+		}
+	}
+}
+
+func TestUsedMethods(t *testing.T) {
+	tbl := paperTable(t)
+	got := tbl.UsedMethods()
+	want := []string{"get_u", "put_can", "put_r"}
+	if len(got) != len(want) {
+		t.Fatalf("UsedMethods = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UsedMethods = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	reg := method.Builtin()
+	cases := []struct {
+		name string
+		st   *Status
+		want string
+	}{
+		{"unknown method", &Status{Name: "X", Method: "zorch"}, "unknown method"},
+		{"empty name", &Status{Name: "", Method: "put_r"}, "without status name"},
+		{"wrong attr", &Status{Name: "X", Method: "put_r", Attr: "u", Nom: "1"}, "does not match"},
+		{"stimulus without nom", &Status{Name: "X", Method: "put_r"}, "requires a nom"},
+		{"bad bits", &Status{Name: "X", Method: "put_can", Nom: "21B"}, "binary"},
+		{"measure without limits", &Status{Name: "X", Method: "get_u", Nom: "1"}, "requires min and max"},
+		{"garbage min", &Status{Name: "X", Method: "get_u", Min: "&&", Max: "1"}, "neither a number nor an expression"},
+		{"get_can without nom", &Status{Name: "X", Method: "get_can"}, "expected payload"},
+	}
+	for _, c := range cases {
+		tbl := NewTable(reg)
+		err := tbl.Add(c.st)
+		if err == nil {
+			t.Errorf("%s: Add unexpectedly succeeded", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDuplicateStatus(t *testing.T) {
+	tbl := NewTable(method.Builtin())
+	if err := tbl.Add(&Status{Name: "Ho", Method: "put_r", Nom: "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Add(&Status{Name: "ho", Method: "put_r", Nom: "2"}); err == nil {
+		t.Error("duplicate (case-insensitive) status accepted")
+	}
+}
+
+func TestDParameterFilling(t *testing.T) {
+	// put_pwm needs two required attributes: f (from nom) and duty (from D1).
+	tbl := NewTable(method.Builtin())
+	st := &Status{Name: "Blink", Method: "put_pwm", Nom: "2", D: [3]string{"50", "", ""}}
+	if err := tbl.Add(st); err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := st.MethodCallAttrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["f"] != "2" || attrs["duty"] != "50" {
+		t.Errorf("put_pwm attrs = %v", attrs)
+	}
+}
+
+func TestDParameterMissingRequired(t *testing.T) {
+	tbl := NewTable(method.Builtin())
+	st := &Status{Name: "Blink", Method: "put_pwm", Nom: "2"}
+	if err := tbl.Add(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.MethodCallAttrs(); err == nil {
+		t.Error("missing required duty parameter not detected")
+	}
+}
+
+func TestParseSheetErrors(t *testing.T) {
+	reg := method.Builtin()
+	if _, err := ParseSheet(nil, reg); err == nil {
+		t.Error("ParseSheet(nil) succeeded")
+	}
+	s := sheet.NewSheet("S")
+	s.AppendRow("foo", "bar")
+	if _, err := ParseSheet(s, reg); err == nil || !strings.Contains(err.Error(), "column") {
+		t.Errorf("headerless sheet error = %v", err)
+	}
+	s2 := sheet.NewSheet("S")
+	s2.AppendRow("status", "method")
+	if _, err := ParseSheet(s2, reg); err == nil || !strings.Contains(err.Error(), "no status rows") {
+		t.Errorf("empty table error = %v", err)
+	}
+}
+
+func TestEvalLimitsOnStimulus(t *testing.T) {
+	tbl := paperTable(t)
+	open, _ := tbl.Lookup("Open")
+	if _, _, err := open.EvalLimits(expr.MapEnv{}); err == nil {
+		t.Error("EvalLimits on stimulus status succeeded")
+	}
+}
+
+func TestAbsoluteLimitsWithoutVar(t *testing.T) {
+	tbl := NewTable(method.Builtin())
+	st := &Status{Name: "Mid", Method: "get_u", Min: "4,5", Max: "5.5"}
+	if err := tbl.Add(st); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := st.EvalLimits(expr.MapEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 4.5 || hi != 5.5 {
+		t.Errorf("absolute limits = [%v,%v], want [4.5,5.5]", lo, hi)
+	}
+}
+
+func TestStatusesOrder(t *testing.T) {
+	tbl := paperTable(t)
+	ss := tbl.Statuses()
+	if len(ss) != 7 || ss[0].Name != "Off" || ss[6].Name != "Ho" {
+		t.Errorf("Statuses() order wrong: %v", ss)
+	}
+}

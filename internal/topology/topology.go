@@ -1,0 +1,309 @@
+// Package topology models the connection matrix of a test stand — the
+// paper's Table 4. Rows are resources, columns are DUT pins, and each
+// non-empty cell names the switching element that can join the two:
+//
+//	         INT_ILL_F  INT_ILL_R  DS_FL  DS_FR  DS_RL  DS_RR
+//	Ress1    Sw1.1      Sw1.2
+//	Ress2                          Mx1.2  Mx2.2  Mx3.2  Mx4.2
+//	Ress3                          Mx1.1  Mx2.1  Mx3.1  Mx4.1
+//
+// Element names follow the paper's grammar <kind><group>.<position>:
+//
+//   - "Sw" elements are independent switches: any subset of a switch
+//     group may be closed at the same time (Sw1.1 and Sw1.2 connect the
+//     DVM's two terminals to the lamp pins simultaneously).
+//   - "Mx" elements are multiplexer positions: within one group (Mx1 …)
+//     at most ONE position may be closed at a time — pin DS_FL reaches
+//     either Ress3 (Mx1.1) or Ress2 (Mx1.2), never both.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sheet"
+)
+
+// ElementKind distinguishes switches from multiplexer positions.
+type ElementKind int
+
+const (
+	// Switch elements close independently of each other.
+	Switch ElementKind = iota
+	// Mux elements are exclusive within their group.
+	Mux
+)
+
+// String implements fmt.Stringer.
+func (k ElementKind) String() string {
+	if k == Switch {
+		return "switch"
+	}
+	return "mux"
+}
+
+// Element is one switching element of the stand.
+type Element struct {
+	// Name is the full element name, e.g. "Mx1.2".
+	Name string
+	// Kind says whether positions of the group exclude each other.
+	Kind ElementKind
+	// Group is the element group, e.g. "Mx1".
+	Group string
+	// Position is the position number within the group (1-based).
+	Position int
+}
+
+// ParseElement parses an element name ("Sw1.1", "Mx4.2").
+func ParseElement(name string) (Element, error) {
+	n := strings.TrimSpace(name)
+	var kind ElementKind
+	var rest string
+	switch {
+	case len(n) > 2 && strings.EqualFold(n[:2], "Sw"):
+		kind, rest = Switch, n[2:]
+	case len(n) > 2 && strings.EqualFold(n[:2], "Mx"):
+		kind, rest = Mux, n[2:]
+	default:
+		return Element{}, fmt.Errorf("topology: malformed element %q (expect Sw<g>.<p> or Mx<g>.<p>)", name)
+	}
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 || dot == len(rest)-1 {
+		return Element{}, fmt.Errorf("topology: malformed element %q (missing group.position)", name)
+	}
+	group, err := strconv.Atoi(rest[:dot])
+	if err != nil || group <= 0 {
+		return Element{}, fmt.Errorf("topology: malformed group in element %q", name)
+	}
+	pos, err := strconv.Atoi(rest[dot+1:])
+	if err != nil || pos <= 0 {
+		return Element{}, fmt.Errorf("topology: malformed position in element %q", name)
+	}
+	prefix := "Sw"
+	if kind == Mux {
+		prefix = "Mx"
+	}
+	return Element{
+		Name:     prefix + strconv.Itoa(group) + "." + strconv.Itoa(pos),
+		Kind:     kind,
+		Group:    prefix + strconv.Itoa(group),
+		Position: pos,
+	}, nil
+}
+
+// Entry is one cell of the matrix: resource × pin joined by an element.
+type Entry struct {
+	Resource string
+	Pin      string
+	Elem     Element
+}
+
+// Matrix is the parsed connection matrix.
+type Matrix struct {
+	entries []Entry
+	pins    []string // column order
+	ress    []string // row order
+}
+
+// NewMatrix returns an empty matrix.
+func NewMatrix() *Matrix { return &Matrix{} }
+
+// Add inserts an entry. Each element name may appear only once, and each
+// (resource, pin) pair may have only one entry.
+func (m *Matrix) Add(resourceID, pin, elementName string) error {
+	res := strings.TrimSpace(resourceID)
+	p := strings.TrimSpace(pin)
+	if res == "" || p == "" {
+		return fmt.Errorf("topology: entry needs resource and pin")
+	}
+	el, err := ParseElement(elementName)
+	if err != nil {
+		return err
+	}
+	for _, e := range m.entries {
+		if e.Elem.Name == el.Name {
+			return fmt.Errorf("topology: element %q used twice", el.Name)
+		}
+		if strings.EqualFold(e.Resource, res) && strings.EqualFold(e.Pin, p) {
+			return fmt.Errorf("topology: duplicate entry for (%s, %s)", res, p)
+		}
+	}
+	m.entries = append(m.entries, Entry{Resource: res, Pin: p, Elem: el})
+	if !containsFold(m.pins, p) {
+		m.pins = append(m.pins, p)
+	}
+	if !containsFold(m.ress, res) {
+		m.ress = append(m.ress, res)
+	}
+	return nil
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns all entries in insertion order.
+func (m *Matrix) Entries() []Entry {
+	out := make([]Entry, len(m.entries))
+	copy(out, m.entries)
+	return out
+}
+
+// Len returns the number of entries.
+func (m *Matrix) Len() int { return len(m.entries) }
+
+// Pins returns the pin columns in first-appearance order.
+func (m *Matrix) Pins() []string {
+	out := make([]string, len(m.pins))
+	copy(out, m.pins)
+	return out
+}
+
+// Resources returns the resource rows in first-appearance order.
+func (m *Matrix) Resources() []string {
+	out := make([]string, len(m.ress))
+	copy(out, m.ress)
+	return out
+}
+
+// Route returns the entry joining a resource to a pin, if one exists.
+func (m *Matrix) Route(resourceID, pin string) (Entry, bool) {
+	for _, e := range m.entries {
+		if strings.EqualFold(e.Resource, resourceID) && strings.EqualFold(e.Pin, pin) {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ResourcesForPin returns the resources reachable from a pin, in row order.
+func (m *Matrix) ResourcesForPin(pin string) []string {
+	var out []string
+	for _, res := range m.ress {
+		if _, ok := m.Route(res, pin); ok {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// PinsForResource returns the pins reachable from a resource, in column
+// order.
+func (m *Matrix) PinsForResource(resourceID string) []string {
+	var out []string
+	for _, p := range m.pins {
+		if _, ok := m.Route(resourceID, p); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// GroupEntries returns all entries of one element group, sorted by
+// position — the positions of one multiplexer.
+func (m *Matrix) GroupEntries(group string) []Entry {
+	var out []Entry
+	for _, e := range m.entries {
+		if strings.EqualFold(e.Elem.Group, group) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Elem.Position < out[j].Elem.Position })
+	return out
+}
+
+// Conflicts reports whether two entries cannot be active simultaneously:
+// two different positions of the same multiplexer group.
+func Conflicts(a, b Entry) bool {
+	return a.Elem.Kind == Mux && b.Elem.Kind == Mux &&
+		strings.EqualFold(a.Elem.Group, b.Elem.Group) &&
+		a.Elem.Name != b.Elem.Name
+}
+
+// ------------------------------------------------------------- sheet I/O --
+
+// ParseSheet reads a connection matrix sheet: first row = pin names (the
+// top-left cell is ignored), following rows = resource id plus one cell
+// per pin, empty meaning "not connected".
+func ParseSheet(s *sheet.Sheet) (*Matrix, error) {
+	if s == nil {
+		return nil, fmt.Errorf("topology: nil sheet")
+	}
+	if s.NumRows() < 2 || s.NumCols() < 2 {
+		return nil, fmt.Errorf("topology: sheet %q too small for a connection matrix", s.Name)
+	}
+	header := s.Row(0)
+	m := NewMatrix()
+	for r := 1; r < s.NumRows(); r++ {
+		if s.IsEmptyRow(r) {
+			continue
+		}
+		res := strings.TrimSpace(s.At(r, 0))
+		if res == "" {
+			return nil, fmt.Errorf("topology: sheet %q row %d: missing resource id", s.Name, r+1)
+		}
+		for c := 1; c < len(header); c++ {
+			pin := strings.TrimSpace(header[c])
+			cell := strings.TrimSpace(s.At(r, c))
+			if pin == "" || cell == "" {
+				continue
+			}
+			if err := m.Add(res, pin, cell); err != nil {
+				return nil, fmt.Errorf("topology: sheet %q row %d: %v", s.Name, r+1, err)
+			}
+		}
+	}
+	if m.Len() == 0 {
+		return nil, fmt.Errorf("topology: sheet %q contains no connections", s.Name)
+	}
+	return m, nil
+}
+
+// ToSheet re-emits the matrix in the paper's Table 4 layout.
+func (m *Matrix) ToSheet(name string) *sheet.Sheet {
+	s := sheet.NewSheet(name)
+	s.AppendRow(append([]string{""}, m.pins...)...)
+	for _, res := range m.ress {
+		row := []string{res}
+		for _, p := range m.pins {
+			if e, ok := m.Route(res, p); ok {
+				row = append(row, e.Elem.Name)
+			} else {
+				row = append(row, "")
+			}
+		}
+		s.AppendRow(row...)
+	}
+	return s
+}
+
+// Render draws an ASCII picture of the wiring (resources on the left,
+// pins on the right, element names on the edges) — the reproduction of
+// the paper's Figure 1 used by `comptest tables`.
+func (m *Matrix) Render() string {
+	var b strings.Builder
+	width := 0
+	for _, r := range m.ress {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	for _, res := range m.ress {
+		fmt.Fprintf(&b, "%-*s |", width, res)
+		for _, e := range m.entries {
+			if strings.EqualFold(e.Resource, res) {
+				fmt.Fprintf(&b, "--[%s]--%s", e.Elem.Name, e.Pin)
+				b.WriteString("  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

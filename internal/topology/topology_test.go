@@ -1,0 +1,242 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/sheet"
+)
+
+func paperMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	wb, err := sheet.ReadWorkbookString(paper.ConnectionSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseSheet(wb.Sheet("Connections"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseElement(t *testing.T) {
+	e, err := ParseElement("Sw1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != Switch || e.Group != "Sw1" || e.Position != 1 || e.Name != "Sw1.1" {
+		t.Errorf("Sw1.1 = %+v", e)
+	}
+	e, err = ParseElement("Mx4.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != Mux || e.Group != "Mx4" || e.Position != 2 {
+		t.Errorf("Mx4.2 = %+v", e)
+	}
+	// Case-insensitive prefix, normalised name.
+	e, err = ParseElement("mx1.1")
+	if err != nil || e.Name != "Mx1.1" {
+		t.Errorf("mx1.1 = %+v, %v", e, err)
+	}
+	for _, bad := range []string{"", "Sw", "Sw1", "Sw.1", "Sw1.", "Xx1.1", "Sw0.1", "Swa.b", "Sw1.0", "Sw-1.1"} {
+		if _, err := ParseElement(bad); err == nil {
+			t.Errorf("ParseElement(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParsePaperMatrix(t *testing.T) {
+	m := paperMatrix(t)
+	if m.Len() != 10 {
+		t.Fatalf("entries = %d, want 10", m.Len())
+	}
+	pins := m.Pins()
+	wantPins := []string{"INT_ILL_F", "INT_ILL_R", "DS_FL", "DS_FR", "DS_RL", "DS_RR"}
+	if len(pins) != len(wantPins) {
+		t.Fatalf("pins = %v", pins)
+	}
+	for i := range wantPins {
+		if pins[i] != wantPins[i] {
+			t.Fatalf("pins = %v, want %v", pins, wantPins)
+		}
+	}
+	ress := m.Resources()
+	if len(ress) != 3 || ress[0] != "Ress1" {
+		t.Fatalf("resources = %v", ress)
+	}
+}
+
+func TestRoutes(t *testing.T) {
+	m := paperMatrix(t)
+	// DVM reaches both lamp pins through its two switches.
+	e, ok := m.Route("Ress1", "INT_ILL_F")
+	if !ok || e.Elem.Name != "Sw1.1" {
+		t.Errorf("Ress1→INT_ILL_F = %+v, %v", e, ok)
+	}
+	e, ok = m.Route("Ress1", "INT_ILL_R")
+	if !ok || e.Elem.Name != "Sw1.2" {
+		t.Errorf("Ress1→INT_ILL_R = %+v, %v", e, ok)
+	}
+	// Decades reach door pins through muxes.
+	e, ok = m.Route("Ress3", "DS_FL")
+	if !ok || e.Elem.Name != "Mx1.1" {
+		t.Errorf("Ress3→DS_FL = %+v", e)
+	}
+	// Unreachable pairs: DVM cannot reach door pins, decades cannot
+	// reach lamp pins.
+	if _, ok := m.Route("Ress1", "DS_FL"); ok {
+		t.Error("Ress1→DS_FL should not exist")
+	}
+	if _, ok := m.Route("Ress2", "INT_ILL_F"); ok {
+		t.Error("Ress2→INT_ILL_F should not exist")
+	}
+	// Case-insensitive lookup.
+	if _, ok := m.Route("ress1", "int_ill_f"); !ok {
+		t.Error("case-insensitive Route failed")
+	}
+}
+
+func TestResourcesForPin(t *testing.T) {
+	m := paperMatrix(t)
+	got := m.ResourcesForPin("DS_FL")
+	if len(got) != 2 || got[0] != "Ress2" || got[1] != "Ress3" {
+		t.Errorf("ResourcesForPin(DS_FL) = %v", got)
+	}
+	got = m.ResourcesForPin("INT_ILL_F")
+	if len(got) != 1 || got[0] != "Ress1" {
+		t.Errorf("ResourcesForPin(INT_ILL_F) = %v", got)
+	}
+}
+
+func TestPinsForResource(t *testing.T) {
+	m := paperMatrix(t)
+	got := m.PinsForResource("Ress2")
+	want := []string{"DS_FL", "DS_FR", "DS_RL", "DS_RR"}
+	if len(got) != len(want) {
+		t.Fatalf("PinsForResource(Ress2) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PinsForResource(Ress2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGroupEntries(t *testing.T) {
+	m := paperMatrix(t)
+	g := m.GroupEntries("Mx1")
+	if len(g) != 2 {
+		t.Fatalf("GroupEntries(Mx1) = %v", g)
+	}
+	if g[0].Elem.Position != 1 || g[1].Elem.Position != 2 {
+		t.Errorf("group not sorted by position: %v", g)
+	}
+	if g[0].Resource != "Ress3" || g[1].Resource != "Ress2" {
+		t.Errorf("Mx1 group members wrong: %v", g)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	m := paperMatrix(t)
+	mx11, _ := m.Route("Ress3", "DS_FL")
+	mx12, _ := m.Route("Ress2", "DS_FL")
+	mx21, _ := m.Route("Ress3", "DS_FR")
+	sw11, _ := m.Route("Ress1", "INT_ILL_F")
+	sw12, _ := m.Route("Ress1", "INT_ILL_R")
+	// Two positions of the same mux conflict.
+	if !Conflicts(mx11, mx12) {
+		t.Error("Mx1.1 vs Mx1.2 must conflict")
+	}
+	// Different mux groups do not.
+	if Conflicts(mx11, mx21) {
+		t.Error("Mx1.1 vs Mx2.1 must not conflict")
+	}
+	// Switches never conflict — the DVM uses both at once.
+	if Conflicts(sw11, sw12) {
+		t.Error("Sw1.1 vs Sw1.2 must not conflict")
+	}
+	// Self-comparison is not a conflict.
+	if Conflicts(mx11, mx11) {
+		t.Error("entry conflicts with itself")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	m := NewMatrix()
+	if err := m.Add("", "P", "Sw1.1"); err == nil {
+		t.Error("empty resource accepted")
+	}
+	if err := m.Add("R", "", "Sw1.1"); err == nil {
+		t.Error("empty pin accepted")
+	}
+	if err := m.Add("R", "P", "Zz1.1"); err == nil {
+		t.Error("bad element accepted")
+	}
+	if err := m.Add("R", "P", "Sw1.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("R2", "P2", "Sw1.1"); err == nil {
+		t.Error("reused element accepted")
+	}
+	if err := m.Add("R", "P", "Sw2.1"); err == nil {
+		t.Error("duplicate (resource,pin) accepted")
+	}
+}
+
+func TestParseSheetErrors(t *testing.T) {
+	bad := map[string]string{
+		"too small": "== C ==\nx\n",
+		"no id":     "== C ==\n;P1\n;Sw1.1\n",
+		"bad elem":  "== C ==\n;P1\nR1;Huh1.1\n",
+		"empty":     "== C ==\n;P1;P2\nR1;;\n",
+	}
+	for name, in := range bad {
+		wb, err := sheet.ReadWorkbookString(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseSheet(wb.Sheet("C")); err == nil {
+			t.Errorf("%s: ParseSheet succeeded", name)
+		}
+	}
+	if _, err := ParseSheet(nil); err == nil {
+		t.Error("ParseSheet(nil) succeeded")
+	}
+}
+
+func TestToSheetRoundTrip(t *testing.T) {
+	m := paperMatrix(t)
+	out := m.ToSheet("Connections")
+	m2, err := ParseSheet(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if m2.Len() != m.Len() {
+		t.Fatalf("round-trip len %d != %d", m2.Len(), m.Len())
+	}
+	for _, e := range m.Entries() {
+		e2, ok := m2.Route(e.Resource, e.Pin)
+		if !ok || e2.Elem.Name != e.Elem.Name {
+			t.Errorf("entry %+v changed to %+v", e, e2)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := paperMatrix(t)
+	pic := m.Render()
+	for _, want := range []string{"Ress1", "Sw1.1", "Mx4.2", "INT_ILL_F", "DS_RR"} {
+		if !strings.Contains(pic, want) {
+			t.Errorf("Render() lacks %q:\n%s", want, pic)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Switch.String() != "switch" || Mux.String() != "mux" {
+		t.Error("ElementKind.String() wrong")
+	}
+}

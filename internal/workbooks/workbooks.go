@@ -1,0 +1,163 @@
+// Package workbooks carries the component-test workbooks for the
+// additional ECU models — the reproduction of the paper's project status
+// ("successfully applied to two ECUs of the next S-class" plus ongoing
+// supplier projects). Like package paper, it is pure data.
+package workbooks
+
+// CentralLocking is the workbook for the central locking unit: lock and
+// unlock over CAN, auto-lock above 8 km/h, crash unlock, motor pulse
+// timing — the requirement set of ecu.CentralLocking.
+const CentralLocking = `# Central locking component test
+== SignalDefinition ==
+signal;direction;class;pin;pin return;message;startbit;length;init;description
+CL_RQ;in;can;;;CL_CMD;0;2;NoRq;lock request (0 none, 1 lock, 2 unlock)
+V_SPEED;in;can;;;VEH_DYN;0;8;V0;vehicle speed in km/h
+CRASH_SW;in;digital;CRASH_SW;;;;;NoCrash;crash sensor contact (low-active)
+LOCK_MOT;out;analog;LOCK_MOT;;;;;MotOff;lock motor driver
+UNLOCK_MOT;out;analog;UNLOCK_MOT;;;;;MotOff;unlock motor driver
+CL_LOCKED;out;can;;;CL_STAT;0;1;StatUnlocked;lock status signal
+
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max;D 1;D 2;D 3
+NoRq;put_can;data;;00B;;;;;
+LockRq;put_can;data;;01B;;;;;
+UnlockRq;put_can;data;;10B;;;;;
+V0;put_can;data;;00000000B;;;;;
+V5;put_can;data;;00000101B;;;;;
+V10;put_can;data;;00001010B;;;;;
+NoCrash;put_r;r;;INF;5000;INF;;;
+Crash;put_r;r;;0;0;0,5;;;
+MotOn;get_u;u;UBATT;1;0,7;1,1;;;
+MotOff;get_u;u;UBATT;0;0;0,3;;;
+StatLocked;get_can;data;;1B;;;;;
+StatUnlocked;get_can;data;;0B;;;;;
+Pulse500;get_t;t;;0,5;0,35;0,65;;;
+
+== Test_LockUnlock ==
+test step;dt;CL_RQ;LOCK_MOT;UNLOCK_MOT;CL_LOCKED;remarks
+0;0,5;NoRq;MotOff;MotOff;StatUnlocked;initial state unlocked
+1;0,3;LockRq;MotOn;;StatLocked;lock: motor pulse starts
+2;1;NoRq;MotOff;;StatLocked;pulse over after 500 ms
+3;0,3;UnlockRq;;MotOn;StatUnlocked;unlock: motor pulse starts
+4;1;NoRq;MotOff;MotOff;StatUnlocked;pulse over
+
+== Test_AutoLock ==
+test step;dt;CL_RQ;V_SPEED;LOCK_MOT;CL_LOCKED;remarks
+0;0,5;NoRq;V0;MotOff;StatUnlocked;standing
+1;0,5;;V5;;StatUnlocked;below 8 km/h: no auto-lock
+2;0,3;;V10;MotOn;StatLocked;8 km/h crossed: auto-lock
+3;1;;;MotOff;StatLocked;pulse over, stays locked
+
+== Test_Crash ==
+test step;dt;CL_RQ;CRASH_SW;LOCK_MOT;UNLOCK_MOT;CL_LOCKED;remarks
+0;0,5;LockRq;NoCrash;;;StatLocked;lock first
+1;1;NoRq;;MotOff;;StatLocked;
+2;0,3;;Crash;;MotOn;StatUnlocked;crash: immediate unlock
+3;1;;;;MotOff;StatUnlocked;
+4;1;LockRq;;MotOff;;StatUnlocked;locking inhibited during crash
+
+== Test_PulseTiming ==
+test step;dt;CL_RQ;LOCK_MOT;CL_LOCKED;remarks
+0;0,5;NoRq;;StatUnlocked;idle
+1;1;LockRq;Pulse500;StatLocked;motor pulse width 500 ms
+`
+
+// ExteriorLight is the workbook for the exterior light controller. It
+// exercises the measurement methods the paper's example does not: the
+// daytime running light is PWM-modulated and checked with get_f, and the
+// rear fog relay contact is checked with get_r.
+const ExteriorLight = `# Exterior light component test
+== SignalDefinition ==
+signal;direction;class;pin;pin return;message;startbit;length;init;description
+LIGHT_SW;in;can;;;EXT_CMD;0;2;SwOff;light switch (0 off, 1 park, 2 low beam)
+IGN;in;can;;;EXT_CMD;2;1;IgnOff;ignition state
+NIGHT;in;can;;;EXT_CMD;3;1;Day;night bit from light sensor
+FOG_SW;in;can;;;EXT_CMD;4;1;FogOff;rear fog switch
+LB_OUT;out;analog;LB_OUT;;;;;LampOff;low beam driver
+DRL_OUT;out;analog;DRL_OUT;;;;;LampOff;daytime running light (PWM)
+REAR_FOG;out;analog;REAR_FOG;;;;;NoContact;rear fog relay contact
+
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max;D 1;D 2;D 3
+SwOff;put_can;data;;00B;;;;;
+SwPark;put_can;data;;01B;;;;;
+SwLow;put_can;data;;10B;;;;;
+IgnOff;put_can;data;;0B;;;;;
+IgnOn;put_can;data;;1B;;;;;
+Day;put_can;data;;0B;;;;;
+Night;put_can;data;;1B;;;;;
+FogOff;put_can;data;;0B;;;;;
+FogOn;put_can;data;;1B;;;;;
+LampOn;get_u;u;UBATT;1;0,7;1,1;;;
+LampOff;get_u;u;UBATT;0;0;0,3;;;
+F25;get_f;f;;25;20;30;;;
+Contact;get_r;r;;0,5;0;2;;;
+NoContact;get_r;r;;INF;10000;INF;;;
+
+== Test_BeamControl ==
+test step;dt;LIGHT_SW;IGN;LB_OUT;remarks
+0;0,5;SwOff;IgnOn;LampOff;all off
+1;0,5;SwPark;;LampOff;park position: no low beam
+2;0,5;SwLow;;LampOn;low beam on
+3;0,5;SwOff;;LampOff;off again
+4;0,5;SwLow;IgnOff;LampOff;no beam without ignition at day
+
+== Test_DRL ==
+test step;dt;LIGHT_SW;IGN;NIGHT;DRL_OUT;remarks
+0;0,5;SwOff;IgnOff;Day;LampOff;parked: DRL off
+1;2;;IgnOn;;F25;ignition on at day: 25 Hz PWM
+2;1;;;Night;LampOff;night: DRL off
+3;2;;;Day;F25;day again: PWM returns
+4;1;SwLow;;;LampOff;low beam overrides DRL
+
+== Test_FollowMeHome ==
+test step;dt;LIGHT_SW;IGN;NIGHT;LB_OUT;remarks
+0;0,5;SwLow;IgnOn;Night;LampOn;driving at night
+1;0,5;SwOff;IgnOff;;LampOn;ignition off: follow-me-home holds
+2;25;;;;LampOn;still lit before 30 s
+3;10;;;;LampOff;off after 30 s
+
+== Test_RearFog ==
+test step;dt;LIGHT_SW;IGN;FOG_SW;REAR_FOG;remarks
+0;0,5;SwLow;IgnOn;FogOff;NoContact;beam on, fog off
+1;0,5;;;FogOn;Contact;fog switch: relay closes
+2;0,5;;;FogOff;NoContact;fog off again
+3;0,5;SwOff;;FogOn;NoContact;no fog without low beam
+`
+
+// WindowLifter is the workbook for the window lifter ECU: manual
+// movement, the both-switches interlock and the 4 s travel limit.
+const WindowLifter = `# Window lifter component test
+== SignalDefinition ==
+signal;direction;class;pin;pin return;message;startbit;length;init;description
+SW_UP;in;digital;SW_UP;;;;;Released;up switch (low-active)
+SW_DOWN;in;digital;SW_DOWN;;;;;Released;down switch (low-active)
+MOT_UP;out;analog;MOT_UP;;;;;MotOff;up motor driver
+MOT_DOWN;out;analog;MOT_DOWN;;;;;MotOff;down motor driver
+
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max;D 1;D 2;D 3
+Pressed;put_r;r;;0;0;0,5;;;
+Released;put_r;r;;INF;5000;INF;;;
+MotOn;get_u;u;UBATT;1;0,7;1,1;;;
+MotOff;get_u;u;UBATT;0;0;0,3;;;
+
+== Test_ManualMove ==
+test step;dt;SW_UP;SW_DOWN;MOT_UP;MOT_DOWN;remarks
+0;0,5;Released;Released;MotOff;MotOff;idle
+1;1;Pressed;;MotOn;MotOff;up drives while pressed
+2;0,5;Released;;MotOff;;release stops the motor
+3;1;;Pressed;MotOff;MotOn;down drives
+4;0,5;;Released;;MotOff;
+
+== Test_Interlock ==
+test step;dt;SW_UP;SW_DOWN;MOT_UP;MOT_DOWN;remarks
+0;0,5;Released;Released;MotOff;MotOff;idle
+1;1;Pressed;Pressed;MotOff;MotOff;both pressed: interlock stops all
+
+== Test_TravelLimit ==
+test step;dt;SW_UP;SW_DOWN;MOT_UP;MOT_DOWN;remarks
+0;0,5;Released;Released;MotOff;MotOff;idle
+1;3;Pressed;;MotOn;;within the 4 s travel window
+2;3;;;MotOff;;end stop reached: motor off
+`
