@@ -4,11 +4,13 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"repro/comptest"
 	"repro/internal/alloc"
 	"repro/internal/analog"
-	"repro/internal/core"
 	"repro/internal/ecu"
 	"repro/internal/expr"
 	"repro/internal/method"
@@ -23,9 +25,9 @@ import (
 )
 
 // mustSuite loads a workbook or aborts the benchmark.
-func mustSuite(b *testing.B, workbook string) *core.Suite {
+func mustSuite(b *testing.B, workbook string) *comptest.Suite {
 	b.Helper()
-	s, err := core.LoadSuiteString(workbook)
+	s, err := comptest.LoadSuiteString(workbook)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -220,7 +222,7 @@ func BenchmarkC1CrossStand(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.AnalyzeReuse(scripts, cfgs); err != nil {
+		if _, err := comptest.AnalyzeReuse(scripts, cfgs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -435,6 +437,61 @@ func BenchmarkAblationSolver(b *testing.B) {
 
 func nodeName(prefix string, i int) string {
 	return prefix + string(rune('0'+i))
+}
+
+// ------------------------------------------------------------ campaign --
+
+// campaignMatrix builds the full 4-stand × 4-DUT campaign: every script
+// of every built-in workbook on every registered stand profile, with the
+// matching DUT model attached.
+func campaignMatrix(b *testing.B) []comptest.Unit {
+	b.Helper()
+	var units []comptest.Unit
+	for _, dut := range comptest.DUTNames() {
+		wb, err := comptest.BuiltinWorkbook(dut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scripts, err := mustSuite(b, wb).GenerateScripts()
+		if err != nil {
+			b.Fatal(err)
+		}
+		units = append(units, comptest.Cross(scripts, comptest.StandNames(), dut)...)
+	}
+	return units
+}
+
+// BenchmarkCampaignMatrix runs the complete 4-stand × 4-DUT execution
+// matrix as one campaign at increasing worker-pool bounds. parallel_1 is
+// the sequential baseline (the old core.RunWorkbook execution model);
+// the higher bounds demonstrate the near-linear speedup of independent
+// units on independent stands.
+func BenchmarkCampaignMatrix(b *testing.B) {
+	units := campaignMatrix(b)
+	var want comptest.Summary
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel_%d", par), func(b *testing.B) {
+			r, err := comptest.NewRunner(comptest.WithParallelism(par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				sum, err := r.Campaign(context.Background(), units)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Errored > 0 || sum.Skipped > 0 {
+					b.Fatalf("campaign degraded: %s", sum)
+				}
+				// Verdict counts must not depend on the worker-pool bound.
+				if want.Units == 0 {
+					want = sum
+				} else if sum != want {
+					b.Fatalf("verdicts changed under parallelism: %s != %s", sum, want)
+				}
+			}
+		})
+	}
 }
 
 // ------------------------------------------------------- serialization --

@@ -7,7 +7,7 @@
 //
 //	comptest gen    -workbook FILE [-test NAME] [-out DIR]
 //	comptest lint   -workbook FILE
-//	comptest run    -workbook FILE [-stand NAME] [-dut NAME] [-format text|csv|xml]
+//	comptest run    -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit]
 //	comptest reuse  -workbook FILE
 //	comptest tables
 //
@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,7 +27,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/core"
+	"repro/comptest"
 	"repro/internal/ecu"
 	"repro/internal/knowledge"
 	"repro/internal/lint"
@@ -38,12 +39,13 @@ import (
 	"repro/internal/sheet"
 	"repro/internal/stand"
 	"repro/internal/topology"
-	"repro/internal/workbooks"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "comptest:", err)
+		// Library errors already carry the "comptest:" package prefix;
+		// avoid printing it twice.
+		fmt.Fprintln(os.Stderr, "comptest:", strings.TrimPrefix(err.Error(), "comptest: "))
 		os.Exit(1)
 	}
 }
@@ -82,63 +84,41 @@ func usage(out io.Writer) {
 subcommands:
   gen    -workbook FILE [-test NAME] [-out DIR]    generate XML test scripts
   lint   -workbook FILE                            validate a workbook
-  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-format text|csv|xml]
+  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit]
   reuse  [-workbook FILE]                          cross-stand reuse matrix
   tables                                           regenerate the paper's tables
   archive [-out FILE] [-origin NAME]               archive built-in suites as a knowledge base
-  transfer -archive FILE [-stand NAME]             which archived tests run on a stand`)
+  transfer -archive FILE [-stand NAME]             which archived tests run on a stand
+
+stands: `+strings.Join(comptest.StandNames(), ", ")+`
+DUTs:   `+strings.Join(comptest.DUTNames(), ", "))
 }
 
 // loadWorkbook reads a workbook file, or the built-in one for "".
-func loadWorkbook(path, builtin string) (*core.Suite, string, error) {
+func loadWorkbook(path, builtin string) (*comptest.Suite, string, error) {
 	if path == "" {
-		s, err := core.LoadSuiteString(builtin)
+		s, err := comptest.LoadSuiteString(builtin)
 		return s, "builtin", err
 	}
-	s, err := core.LoadSuiteFile(path)
+	s, err := comptest.LoadSuiteFile(path)
 	return s, path, err
 }
 
-// builtinFor maps -dut names to their built-in workbooks.
+// builtinFor maps -dut names to their registered built-in workbooks.
+// Unknown names fall back to the paper workbook; cmdRun surfaces the
+// bad name itself via its NewDUT probe.
 func builtinFor(dut string) string {
-	switch dut {
-	case "central_locking":
-		return workbooks.CentralLocking
-	case "window_lifter":
-		return workbooks.WindowLifter
-	case "exterior_light":
-		return workbooks.ExteriorLight
+	if wb, err := comptest.BuiltinWorkbook(dut); err == nil {
+		return wb
 	}
 	return paper.Workbook
 }
 
-func dutFor(name string) (ecu.ECU, error) {
-	switch name {
-	case "interior_light", "":
-		return ecu.NewInteriorLight(), nil
-	case "central_locking":
-		return ecu.NewCentralLocking(), nil
-	case "window_lifter":
-		return ecu.NewWindowLifter(), nil
-	case "exterior_light":
-		return ecu.NewExteriorLight(), nil
-	}
-	return nil, fmt.Errorf("unknown DUT %q (have interior_light, central_locking, window_lifter, exterior_light)", name)
-}
-
 func standFor(name string, sc *script.Script, reg *method.Registry) (stand.Config, error) {
-	h := stand.HarnessFromScript(sc)
-	switch name {
-	case "paper_stand", "":
-		return stand.PaperConfig(reg)
-	case "full_lab":
-		return stand.FullLab(reg, h)
-	case "mini_bench":
-		return stand.MiniBench(reg, h)
-	case "hil_rack":
-		return stand.HILRack(reg, h)
+	if name == "" {
+		name = "paper_stand"
 	}
-	return stand.Config{}, fmt.Errorf("unknown stand %q (have paper_stand, full_lab, mini_bench, hil_rack)", name)
+	return comptest.BuildStand(name, reg, stand.HarnessFromScript(sc))
 }
 
 func cmdGen(args []string, out io.Writer) error {
@@ -168,7 +148,7 @@ func cmdGen(args []string, out io.Writer) error {
 	for _, sc := range scripts {
 		if *outDir != "" {
 			path := filepath.Join(*outDir, sc.Name+".xml")
-			if err := core.WriteScriptFile(path, sc); err != nil {
+			if err := comptest.WriteScriptFile(path, sc); err != nil {
 				return err
 			}
 			fmt.Fprintln(out, "wrote", path)
@@ -211,14 +191,34 @@ func cmdLint(args []string, out io.Writer) error {
 	return nil
 }
 
+// reportWriter maps a -format name to its report writer.
+func reportWriter(format string) (func(io.Writer, *report.Report) error, error) {
+	switch format {
+	case "text":
+		return report.WriteText, nil
+	case "csv":
+		return report.WriteCSV, nil
+	case "xml":
+		return report.WriteXML, nil
+	case "junit":
+		return report.WriteJUnit, nil
+	}
+	return nil, fmt.Errorf("unknown format %q", format)
+}
+
 func cmdRun(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	workbook := fs.String("workbook", "", "workbook file (default: built-in workbook of the DUT)")
-	standName := fs.String("stand", "", "stand profile (default paper_stand)")
-	dutName := fs.String("dut", "", "DUT model (default interior_light)")
+	standName := fs.String("stand", "paper_stand", "stand profile")
+	dutName := fs.String("dut", "interior_light", "DUT model")
 	fault := fs.String("fault", "", "inject a named fault into the DUT")
+	parallel := fs.Int("parallel", 1, "run up to N scripts concurrently, each on its own stand instance")
 	format := fs.String("format", "text", "report format: text, csv, xml or junit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	write, err := reportWriter(*format)
+	if err != nil {
 		return err
 	}
 	suite, _, err := loadWorkbook(*workbook, builtinFor(*dutName))
@@ -229,55 +229,61 @@ func cmdRun(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	dut, err := dutFor(*dutName)
+	// Validate the DUT name and fault once, up front; the factory then
+	// produces an independently faulted instance per execution unit.
+	probe, err := comptest.NewDUT(*dutName)
 	if err != nil {
 		return err
 	}
 	if *fault != "" {
-		if err := dut.InjectFault(*fault); err != nil {
+		if err := probe.InjectFault(*fault); err != nil {
 			return err
 		}
 	}
-	cfg, err := standFor(*standName, scripts[0], suite.Registry)
+	factory := func() ecu.ECU {
+		dut, _ := comptest.NewDUT(*dutName)
+		if *fault != "" {
+			_ = dut.InjectFault(*fault)
+		}
+		return dut
+	}
+	// Reports are streamed in script order even when -parallel reorders
+	// completion. The first write failure cancels the campaign so the
+	// remaining scripts are not simulated for output nobody receives.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var writeErr error
+	sink := comptest.Ordered(comptest.SinkFunc(func(res comptest.Result) {
+		if writeErr != nil {
+			return
+		}
+		if res.Err != nil {
+			writeErr = res.Err
+		} else {
+			writeErr = write(out, res.Report)
+		}
+		if writeErr != nil {
+			cancel()
+		}
+	}))
+	r, err := comptest.NewRunner(
+		comptest.WithStand(*standName),
+		comptest.WithDUTFactory(factory),
+		comptest.WithParallelism(*parallel),
+		comptest.WithSink(sink),
+	)
 	if err != nil {
 		return err
 	}
-	st, err := stand.New(cfg, suite.Registry)
+	sum, err := r.Campaign(ctx, comptest.Cross(scripts, []string{*standName}, ""))
+	if writeErr != nil {
+		return writeErr
+	}
 	if err != nil {
 		return err
 	}
-	if err := st.AttachDUT(dut); err != nil {
-		return err
-	}
-	allPassed := true
-	for _, sc := range scripts {
-		rep := st.Run(sc)
-		if !rep.Passed() {
-			allPassed = false
-		}
-		switch *format {
-		case "text":
-			if err := report.WriteText(out, rep); err != nil {
-				return err
-			}
-		case "csv":
-			if err := report.WriteCSV(out, rep); err != nil {
-				return err
-			}
-		case "xml":
-			if err := report.WriteXML(out, rep); err != nil {
-				return err
-			}
-		case "junit":
-			if err := report.WriteJUnit(out, rep); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown format %q", *format)
-		}
-	}
-	if !allPassed {
-		return fmt.Errorf("test run FAILED")
+	if sum.Passed != sum.Units {
+		return fmt.Errorf("test run FAILED (%s)", sum)
 	}
 	return nil
 }
@@ -300,7 +306,7 @@ func cmdReuse(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	m, err := core.AnalyzeReuse(scripts, cfgs)
+	m, err := comptest.AnalyzeReuse(scripts, cfgs)
 	if err != nil {
 		return err
 	}
@@ -310,7 +316,7 @@ func cmdReuse(args []string, out io.Writer) error {
 
 func cmdTables(out io.Writer) error {
 	reg := method.Builtin()
-	suite, err := core.LoadSuiteString(paper.Workbook)
+	suite, err := comptest.LoadSuiteString(paper.Workbook)
 	if err != nil {
 		return err
 	}
@@ -389,15 +395,18 @@ func renderSheet(s *sheet.Sheet) string {
 	return b.String()
 }
 
-// builtinProjects are the component families with built-in workbooks.
-var builtinProjects = []struct {
-	component string
-	workbook  string
-}{
-	{"interior_light", paper.Workbook},
-	{"central_locking", workbooks.CentralLocking},
-	{"window_lifter", workbooks.WindowLifter},
-	{"exterior_light", workbooks.ExteriorLight},
+// builtinProjects lists the component families with built-in workbooks,
+// straight from the DUT registry.
+func builtinProjects() []struct{ component, workbook string } {
+	var out []struct{ component, workbook string }
+	for _, name := range comptest.DUTNames() {
+		wb, err := comptest.BuiltinWorkbook(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, struct{ component, workbook string }{name, wb})
+	}
+	return out
 }
 
 func cmdArchive(args []string, out io.Writer) error {
@@ -408,8 +417,8 @@ func cmdArchive(args []string, out io.Writer) error {
 		return err
 	}
 	base := knowledge.NewBase()
-	for _, p := range builtinProjects {
-		suite, err := core.LoadSuiteString(p.workbook)
+	for _, p := range builtinProjects() {
+		suite, err := comptest.LoadSuiteString(p.workbook)
 		if err != nil {
 			return err
 		}

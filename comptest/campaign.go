@@ -1,0 +1,214 @@
+package comptest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/script"
+)
+
+// Unit is one schedulable execution of a campaign: one script on one
+// stand with one DUT. Empty Stand/DUT names fall back to the Runner's
+// defaults.
+type Unit struct {
+	Script *script.Script
+	Stand  string // registered stand profile, "" = Runner default
+	DUT    string // registered DUT model, "" = Runner default
+}
+
+// Result is the outcome of one Unit, streamed to sinks as it completes.
+// Exactly one of Report and Err is set: Err covers failures to build
+// the execution (unknown stand/DUT, stand construction), while script
+// verdicts — including fatal script errors — live in the Report.
+type Result struct {
+	// Seq is the index of the Unit in the campaign's unit slice.
+	Seq    int
+	Unit   Unit
+	Report *report.Report
+	Err    error
+}
+
+// Sink consumes campaign results. The Runner serialises Emit calls —
+// even under WithParallelism(n>1) a sink never sees two concurrent
+// calls — so implementations need no locking of their own.
+type Sink interface {
+	Emit(Result)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Result)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(r Result) { f(r) }
+
+// Collector is a Sink that accumulates every result.
+type Collector struct {
+	mu      sync.Mutex
+	results []Result
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(r Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results = append(c.results, r)
+}
+
+// Results returns the collected results in arrival order.
+func (c *Collector) Results() []Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Result, len(c.results))
+	copy(out, c.results)
+	return out
+}
+
+// Ordered wraps a sink so it receives results in strict Seq order
+// (0, 1, 2, …) regardless of completion order, buffering early
+// arrivals. Use one Ordered wrapper per campaign: Seq restarts at 0
+// for every Campaign call.
+func Ordered(s Sink) Sink {
+	return &orderedSink{inner: s, pending: map[int]Result{}}
+}
+
+type orderedSink struct {
+	mu      sync.Mutex
+	inner   Sink
+	next    int
+	pending map[int]Result
+}
+
+func (o *orderedSink) Emit(r Result) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[r.Seq] = r
+	for {
+		res, ok := o.pending[o.next]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.next)
+		o.next++
+		o.inner.Emit(res)
+	}
+}
+
+// Summary tallies a campaign. When the campaign is cancelled mid-run,
+// units that were never dispatched are counted in Skipped.
+type Summary struct {
+	Units   int // total units submitted
+	Passed  int // reports with every check passing
+	Failed  int // reports with failing/erroring checks or a fatal error
+	Errored int // units whose execution could not be built
+	Skipped int // units never dispatched (cancellation)
+}
+
+// String renders a one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d units: %d passed, %d failed, %d errored, %d skipped",
+		s.Units, s.Passed, s.Failed, s.Errored, s.Skipped)
+}
+
+// Cross builds the campaign units of a full matrix: every script on
+// every named stand, with the given DUT model ("" = Runner default).
+func Cross(scripts []*script.Script, stands []string, dut string) []Unit {
+	units := make([]Unit, 0, len(scripts)*len(stands))
+	for _, st := range stands {
+		for _, sc := range scripts {
+			units = append(units, Unit{Script: sc, Stand: st, DUT: dut})
+		}
+	}
+	return units
+}
+
+// Campaign fans the units out over a bounded worker pool
+// (WithParallelism) and streams every Result to the Runner's sinks the
+// moment it completes, instead of returning one slice at the end. Each
+// unit gets its own freshly built stand and DUT instance, so units
+// never share mutable state and execution order cannot change
+// verdicts.
+//
+// Cancellation is honoured at three levels: undispatched units are
+// dropped (counted as Skipped, never emitted), running scripts stop at
+// the next step boundary (stand.RunContext), and Campaign returns
+// ctx.Err() alongside the partial Summary.
+func (r *Runner) Campaign(ctx context.Context, units []Unit) (Summary, error) {
+	sum := Summary{Units: len(units)}
+	if len(units) == 0 {
+		return sum, ctx.Err()
+	}
+
+	workers := r.parallel
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	var (
+		mu         sync.Mutex // guards sum
+		wg         sync.WaitGroup
+		idx        = make(chan int)
+		dispatched int
+	)
+	account := func(res Result) {
+		mu.Lock()
+		switch {
+		case res.Err != nil:
+			sum.Errored++
+		case res.Report.Passed():
+			sum.Passed++
+		default:
+			sum.Failed++
+		}
+		mu.Unlock()
+		r.emit(res)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				account(r.runUnit(ctx, i, units[i]))
+			}
+		}()
+	}
+
+dispatch:
+	for i := range units {
+		// Checked before each send: a select alone would race a ready
+		// Done channel against a ready worker and dispatch a random
+		// subset of the remaining units.
+		if ctx.Err() != nil {
+			break dispatch
+		}
+		select {
+		case idx <- i:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	sum.Skipped = len(units) - dispatched
+	return sum, ctx.Err()
+}
+
+// runUnit executes one campaign unit on its own stand.
+func (r *Runner) runUnit(ctx context.Context, seq int, u Unit) Result {
+	res := Result{Seq: seq, Unit: u}
+	if u.Script == nil {
+		res.Err = fmt.Errorf("comptest: unit %d has no script", seq)
+		return res
+	}
+	st, err := r.newStand(u.Stand, u.DUT, u.Script)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Report = st.RunContext(ctx, u.Script)
+	return res
+}

@@ -1,0 +1,37 @@
+// Package comptest is the public API of the component-test tool chain —
+// the reproduction of Brinkmeyer, "A New Approach to Component Testing"
+// (DATE 2005) — redesigned for concurrent, configurable, cancellable
+// execution:
+//
+//	workbook (signal/status/test sheets)
+//	   │  LoadSuite / LoadSuiteString / LoadSuiteFile
+//	   ▼
+//	Suite ── GenerateScripts ──► XML test scripts (test-stand independent)
+//	   │                              │
+//	   │                              ▼  run on ANY registered stand
+//	   │                  Runner ── Campaign ──► streamed report.Reports
+//
+// The entry point is the Runner, built with functional options:
+//
+//	r, err := comptest.NewRunner(
+//		comptest.WithStand("paper_stand"),
+//		comptest.WithDUT("interior_light"),
+//		comptest.WithParallelism(4),
+//		comptest.WithSink(sink),
+//	)
+//
+// A Runner executes single scripts (RunScript), whole suites
+// (RunSuite/RunWorkbook) or a Campaign: M scripts × N stand configs fanned
+// out over a bounded worker pool, each result streamed to the configured
+// sinks the moment it completes. context.Context is honoured throughout;
+// cancellation takes effect at the next step boundary (see
+// stand.RunContext).
+//
+// Stands and DUT models are looked up in process-wide registries
+// (RegisterStand, RegisterDUT) keyed by name — the four built-in stand
+// profiles (paper_stand, full_lab, mini_bench, hil_rack) and the four
+// built-in ECU models (interior_light, central_locking, window_lifter,
+// exterior_light) are pre-registered.
+//
+// The deprecated internal/core package is a thin shim over this package.
+package comptest

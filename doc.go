@@ -3,8 +3,9 @@
 // independent methodology for defining and executing component tests of
 // automotive ECUs.
 //
-// The library lives under internal/ (see DESIGN.md for the inventory),
-// the command line tool under cmd/comptest, runnable examples under
-// examples/, and bench_test.go regenerates every table and figure of the
-// paper (EXPERIMENTS.md records paper-vs-measured).
+// The public API lives in the comptest package (Runner, functional
+// options, stand/DUT registries, concurrent campaigns — see README.md
+// for a quickstart), the building blocks under internal/, the command
+// line tool under cmd/comptest, runnable examples under examples/, and
+// bench_test.go regenerates every table and figure of the paper.
 package repro

@@ -5,26 +5,27 @@
 //
 // The workbook (internal/workbooks.CentralLocking) carries four test
 // definition sheets; all are generated to XML and executed on a full lab
-// stand. The example then shows the paper's error path by re-running the
-// suite on a mini bench whose only decade cannot realise the crash
-// stimulus concurrently with a measurement setup that needs it.
+// stand through the public comptest Runner, each verdict streamed to a
+// sink as it completes. The example then shows the paper's error path:
+// the mini bench has no counter, so the static portability check refuses
+// the pulse-timing test.
 //
 //	go run ./examples/centrallocking
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/ecu"
+	"repro/comptest"
 	"repro/internal/report"
 	"repro/internal/stand"
 	"repro/internal/workbooks"
 )
 
 func main() {
-	suite, err := core.LoadSuiteString(workbooks.CentralLocking)
+	suite, err := comptest.LoadSuiteString(workbooks.CentralLocking)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,32 +36,35 @@ func main() {
 	fmt.Printf("central locking workbook: %d signals, %d statuses, %d tests\n",
 		suite.Signals.Len(), suite.Statuses.Len(), len(scripts))
 
-	// Full lab: everything passes.
-	h := stand.HarnessFromScript(scripts[0])
-	cfg, err := stand.FullLab(suite.Registry, h)
-	if err != nil {
-		log.Fatal(err)
-	}
-	st, err := stand.New(cfg, suite.Registry)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := st.AttachDUT(ecu.NewCentralLocking()); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nrunning on", st.Name(), "—", cfg.Catalog.Len(), "resources:")
-	for _, sc := range scripts {
-		rep := st.Run(sc)
-		fmt.Println("  " + rep.Summary())
-		if !rep.Passed() {
-			_ = report.WriteText(log.Writer(), rep)
+	// Full lab: everything passes. The sink sees each report the moment
+	// its script finishes.
+	fmt.Println("\nrunning on full_lab:")
+	sink := comptest.SinkFunc(func(res comptest.Result) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
 		}
+		fmt.Println("  " + res.Report.Summary())
+		if !res.Report.Passed() {
+			_ = report.WriteText(log.Writer(), res.Report)
+		}
+	})
+	r, err := comptest.NewRunner(
+		comptest.WithStand("full_lab"),
+		comptest.WithDUT("central_locking"),
+		comptest.WithSink(sink),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := r.RunSuite(context.Background(), suite); err != nil {
+		log.Fatal(err)
 	}
 
 	// The pulse-timing test needs a counter (get_t). The mini bench has
 	// none: the static check already refuses — the paper's "error
 	// message is generated".
-	mini, err := stand.MiniBench(suite.Registry, h)
+	h := stand.HarnessFromScript(scripts[0])
+	mini, err := comptest.BuildStand("mini_bench", suite.Registry, h)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,19 +15,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/core"
+	"repro/comptest"
 	"repro/internal/ecu"
 	"repro/internal/paper"
 	"repro/internal/script"
-	"repro/internal/stand"
 )
 
 func main() {
-	suite, err := core.LoadSuiteString(paper.Workbook)
+	suite, err := comptest.LoadSuiteString(paper.Workbook)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,14 +54,13 @@ func main() {
 	}
 
 	// 2. Healthy run.
-	rep := runOnce(suite, sc, "")
-	fmt.Printf("\nhealthy DUT: %s\n", rep)
+	fmt.Printf("\nhealthy DUT: %s\n", runOnce(sc, ""))
 
 	// 3. Mutant campaign.
 	fmt.Println("\nmutant campaign (paper test table vs injected requirement violations):")
 	detected, total := 0, 0
 	for _, fault := range ecu.NewInteriorLight().FaultNames() {
-		verdict := runOnce(suite, sc, fault)
+		verdict := runOnce(sc, fault)
 		total++
 		mark := "NOT detected"
 		if verdict != "PASS" {
@@ -74,27 +73,28 @@ func main() {
 	fmt.Println("(the survivor shows a real coverage gap: the table never opens a rear door at night)")
 }
 
-// runOnce executes the script against a fresh stand + DUT, optionally
-// with an injected fault, and returns PASS/FAIL.
-func runOnce(suite *core.Suite, sc *script.Script, fault string) string {
-	cfg, err := stand.PaperConfig(suite.Registry)
+// runOnce executes the script on the paper's stand against a fresh DUT,
+// optionally with an injected fault, and returns PASS/FAIL.
+func runOnce(sc *script.Script, fault string) string {
+	r, err := comptest.NewRunner(
+		comptest.WithStand("paper_stand"),
+		comptest.WithDUTFactory(func() ecu.ECU {
+			dut := ecu.NewInteriorLight()
+			if fault != "" {
+				if err := dut.InjectFault(fault); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return dut
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := stand.New(cfg, suite.Registry)
+	rep, err := r.RunScript(context.Background(), sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dut := ecu.NewInteriorLight()
-	if fault != "" {
-		if err := dut.InjectFault(fault); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := st.AttachDUT(dut); err != nil {
-		log.Fatal(err)
-	}
-	rep := st.Run(sc)
 	if rep.Passed() {
 		return "PASS"
 	}

@@ -18,7 +18,7 @@ import (
 	"log"
 	"strings"
 
-	"repro/internal/core"
+	"repro/comptest"
 	"repro/internal/knowledge"
 	"repro/internal/method"
 	"repro/internal/paper"
@@ -39,7 +39,7 @@ func main() {
 	archive(base, workbooks.WindowLifter, "window_lifter", "S-class 2004", nil, nil)
 
 	// A later project contributes an improved interior light test.
-	suite, err := core.LoadSuiteString(paper.Workbook)
+	suite, err := comptest.LoadSuiteString(paper.Workbook)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func main() {
 // given provenance.
 func archive(base *knowledge.Base, workbook, component, origin string,
 	tags, bugs map[string][]string) {
-	suite, err := core.LoadSuiteString(workbook)
+	suite, err := comptest.LoadSuiteString(workbook)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,54 +1,57 @@
 // Multistand measures the paper's headline claim: "The most important
 // advantage of this method is independence from the test stand."
 //
-// One set of XML scripts — the interior illumination, central locking
-// and window lifter suites — is analysed and EXECUTED unchanged on three
-// differently-equipped stand profiles:
+// One set of XML scripts — the interior illumination, central locking,
+// window lifter and exterior light suites — is analysed and EXECUTED
+// unchanged on three differently-equipped stand profiles:
 //
 //	full_lab    relay crossbar, 2 DVMs, counter, supplies (12.0 V)
 //	mini_bench  one small DVM + one 200 kΩ decade + CAN      (12.0 V)
 //	hil_rack    per-pin stimulus muxes, counter, supply      (13.5 V)
 //
 // The example prints the static can-run matrix with reuse percentage,
-// then actually runs every runnable (suite, stand) pair and shows that
-// symbolic limits such as (1.1*ubatt) adapt to each stand's supply.
+// then actually runs every runnable (suite, stand) pair as ONE
+// comptest.Campaign — all units fanned out over a four-worker pool,
+// results collected from the sink — and shows that symbolic limits such
+// as (1.1*ubatt) adapt to each stand's supply.
 //
 //	go run ./examples/multistand
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/ecu"
-	"repro/internal/method"
-	"repro/internal/paper"
+	"repro/comptest"
 	"repro/internal/script"
 	"repro/internal/stand"
-	"repro/internal/workbooks"
 )
 
-type project struct {
-	name     string
-	workbook string
-	dut      func() ecu.ECU
+// projects maps the DUT registry names to display labels.
+var projects = []struct {
+	label string
+	dut   string
+}{
+	{"interior light", "interior_light"},
+	{"central locking", "central_locking"},
+	{"window lifter", "window_lifter"},
+	{"exterior light", "exterior_light"},
 }
 
-func main() {
-	projects := []project{
-		{"interior light", paper.Workbook, func() ecu.ECU { return ecu.NewInteriorLight() }},
-		{"central locking", workbooks.CentralLocking, func() ecu.ECU { return ecu.NewCentralLocking() }},
-		{"window lifter", workbooks.WindowLifter, func() ecu.ECU { return ecu.NewWindowLifter() }},
-		{"exterior light", workbooks.ExteriorLight, func() ecu.ECU { return ecu.NewExteriorLight() }},
-	}
+var standNames = []string{"full_lab", "mini_bench", "hil_rack"}
 
+func main() {
 	// Generate every script once; they are the shared knowledge base.
 	var allScripts []*script.Script
-	scriptsByProject := map[string][]*script.Script{}
+	scriptsByDUT := map[string][]*script.Script{}
 	var harness stand.Harness
 	for _, p := range projects {
-		suite, err := core.LoadSuiteString(p.workbook)
+		wb, err := comptest.BuiltinWorkbook(p.dut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite, err := comptest.LoadSuiteString(wb)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +59,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		scriptsByProject[p.name] = scripts
+		scriptsByDUT[p.dut] = scripts
 		allScripts = append(allScripts, scripts...)
 		for _, sc := range scripts {
 			h := stand.HarnessFromScript(sc)
@@ -65,43 +68,70 @@ func main() {
 		}
 	}
 
-	reg := method.Builtin()
-	cfgs, err := stand.Profiles(reg, harness)
+	// One Runner drives both the reuse analysis and the campaign.
+	collector := &comptest.Collector{}
+	runner, err := comptest.NewRunner(
+		comptest.WithParallelism(4),
+		comptest.WithSink(collector),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Static reuse matrix.
-	m, err := core.AnalyzeReuse(allScripts, cfgs)
+	// Static reuse matrix over the registry-built stand configs.
+	var cfgs []stand.Config
+	for _, name := range standNames {
+		cfg, err := comptest.BuildStand(name, runner.Methods(), harness)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	m, err := comptest.AnalyzeReuse(allScripts, cfgs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("static can-run matrix (one row per generated script):")
 	fmt.Println(m)
 
-	// Dynamic execution of every runnable pair.
-	fmt.Println("execution of every runnable (suite, stand) pair:")
-	for _, cfg := range cfgs {
+	// Dynamic execution: every runnable (script, stand, DUT) unit in one
+	// concurrent campaign.
+	var units []comptest.Unit
+	for _, name := range standNames {
 		for _, p := range projects {
-			ran, passed := 0, 0
-			st, err := stand.New(cfg, reg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := st.AttachDUT(p.dut()); err != nil {
-				log.Fatal(err)
-			}
-			for _, sc := range scriptsByProject[p.name] {
-				if cell, ok := m.Cell(sc.Name, cfg.Name); !ok || !cell.Runnable {
+			for _, sc := range scriptsByDUT[p.dut] {
+				if cell, ok := m.Cell(sc.Name, name); !ok || !cell.Runnable {
 					continue
 				}
-				ran++
-				if st.Run(sc).Passed() {
-					passed++
-				}
+				units = append(units, comptest.Unit{Script: sc, Stand: name, DUT: p.dut})
 			}
+		}
+	}
+	sum, err := runner.Campaign(context.Background(), units)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tally per (stand, project) pair.
+	type pair struct{ stand, dut string }
+	ran := map[pair]int{}
+	passed := map[pair]int{}
+	for _, res := range collector.Results() {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		k := pair{res.Unit.Stand, res.Unit.DUT}
+		ran[k]++
+		if res.Report.Passed() {
+			passed[k]++
+		}
+	}
+	fmt.Printf("execution of every runnable (suite, stand) pair — %s:\n", sum)
+	for i, name := range standNames {
+		for _, p := range projects {
+			k := pair{name, p.dut}
 			fmt.Printf("  %-10s × %-16s %d/%d scripts pass (ubatt=%.1f V)\n",
-				cfg.Name, p.name, passed, ran, cfg.UbattVolts)
+				name, p.label, passed[k], ran[k], cfgs[i].UbattVolts)
 		}
 	}
 }

@@ -1,29 +1,29 @@
-// Quickstart: the whole tool chain in one screen of code.
+// Quickstart: the whole tool chain in one screen of code, on the
+// public comptest API.
 //
 // It loads the paper's interior-illumination workbook (the three sheet
 // types of Section 3), generates the test-stand-independent XML script,
-// builds the paper's test stand (Tables 3+4: one DVM, two resistor
-// decades, switch/mux wiring) with a simulated interior-light ECU, runs
-// the script and prints the verdict report.
+// builds a Runner for the paper's test stand (Tables 3+4: one DVM, two
+// resistor decades, switch/mux wiring) with a simulated interior-light
+// ECU, runs the script and prints the verdict report.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/ecu"
+	"repro/comptest"
 	"repro/internal/paper"
 	"repro/internal/report"
-	"repro/internal/stand"
 )
 
 func main() {
 	// 1. Load and cross-validate the workbook.
-	suite, err := core.LoadSuiteString(paper.Workbook)
+	suite, err := comptest.LoadSuiteString(paper.Workbook)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,21 +37,21 @@ func main() {
 	fmt.Printf("generated script %q: %d steps, %.0f s nominal duration\n",
 		sc.Name, len(sc.Steps), sc.Duration())
 
-	// 3. Build the paper's stand and attach the DUT model.
-	cfg, err := stand.PaperConfig(suite.Registry)
+	// 3. Configure a Runner: the paper's stand with the interior-light
+	//    DUT model, both resolved from the registries by name.
+	r, err := comptest.NewRunner(
+		comptest.WithStand("paper_stand"),
+		comptest.WithDUT("interior_light"),
+	)
 	if err != nil {
-		log.Fatal(err)
-	}
-	st, err := stand.New(cfg, suite.Registry)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := st.AttachDUT(ecu.NewInteriorLight()); err != nil {
 		log.Fatal(err)
 	}
 
 	// 4. Execute and report. The 309 simulated seconds take milliseconds.
-	rep := st.Run(sc)
+	rep, err := r.RunScript(context.Background(), sc)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := report.WriteText(os.Stdout, rep); err != nil {
 		log.Fatal(err)
 	}

@@ -1,207 +1,100 @@
-// Package core is the façade of the component-test tool chain — the
-// paper's contribution assembled into one pipeline:
+// Package core is the deprecated free-function predecessor of the
+// public comptest package. It remains as a thin shim so old imports
+// keep compiling; every function delegates to comptest.
 //
-//	workbook (signal/status/test sheets)
-//	   │  LoadSuite
-//	   ▼
-//	Suite ── GenerateScripts ──► XML test scripts (test-stand independent)
-//	   │                              │
-//	   │                              ▼  Execute on ANY stand
-//	   │                        stand.Stand + DUT model ──► report.Report
-//
-// Everything underneath (sheets, statuses, expression limits, the XML
-// format, allocation, the electrical/CAN simulation, the ECU models) is
-// reachable through the internal packages; core wires the common paths.
+// Deprecated: use repro/comptest — it adds context-aware execution,
+// functional options, stand/DUT registries and concurrent campaigns.
 package core
 
 import (
-	"fmt"
-	"os"
+	"context"
 
+	"repro/comptest"
 	"repro/internal/ecu"
-	"repro/internal/method"
 	"repro/internal/report"
-	"repro/internal/resource"
 	"repro/internal/reuse"
 	"repro/internal/script"
 	"repro/internal/sheet"
-	"repro/internal/sigdef"
 	"repro/internal/stand"
-	"repro/internal/status"
-	"repro/internal/testdef"
-	"repro/internal/topology"
 )
 
 // Suite is a fully cross-validated test workbook.
-type Suite struct {
-	Signals  *sigdef.List
-	Statuses *status.Table
-	Tests    []*testdef.TestCase
-	Registry *method.Registry
-}
+//
+// Deprecated: use comptest.Suite.
+type Suite = comptest.Suite
 
 // Sheet names expected in a workbook.
+//
+// Deprecated: use comptest.SignalSheetName / comptest.StatusSheetName.
 const (
-	SignalSheetName = "SignalDefinition"
-	StatusSheetName = "StatusDefinition"
+	SignalSheetName = comptest.SignalSheetName
+	StatusSheetName = comptest.StatusSheetName
 )
 
-// LoadSuite parses and cross-validates a workbook: the signal definition
-// sheet, the status definition sheet and every "Test_*" sheet.
-func LoadSuite(wb *sheet.Workbook) (*Suite, error) {
-	reg := method.Builtin()
-	sigSheet := wb.Sheet(SignalSheetName)
-	if sigSheet == nil {
-		return nil, fmt.Errorf("core: workbook lacks sheet %q", SignalSheetName)
-	}
-	statSheet := wb.Sheet(StatusSheetName)
-	if statSheet == nil {
-		return nil, fmt.Errorf("core: workbook lacks sheet %q", StatusSheetName)
-	}
-	sigs, err := sigdef.ParseSheet(sigSheet)
-	if err != nil {
-		return nil, err
-	}
-	tbl, err := status.ParseSheet(statSheet, reg)
-	if err != nil {
-		return nil, err
-	}
-	if err := sigs.ValidateAgainst(tbl); err != nil {
-		return nil, err
-	}
-	tests, err := testdef.ParseAll(wb)
-	if err != nil {
-		return nil, err
-	}
-	for _, tc := range tests {
-		if err := tc.Validate(sigs, tbl); err != nil {
-			return nil, err
-		}
-	}
-	return &Suite{Signals: sigs, Statuses: tbl, Tests: tests, Registry: reg}, nil
-}
+// LoadSuite parses and cross-validates a workbook.
+//
+// Deprecated: use comptest.LoadSuite.
+func LoadSuite(wb *sheet.Workbook) (*Suite, error) { return comptest.LoadSuite(wb) }
 
 // LoadSuiteString parses a workbook held in a string.
-func LoadSuiteString(s string) (*Suite, error) {
-	wb, err := sheet.ReadWorkbookString(s)
-	if err != nil {
-		return nil, err
-	}
-	return LoadSuite(wb)
-}
+//
+// Deprecated: use comptest.LoadSuiteString.
+func LoadSuiteString(s string) (*Suite, error) { return comptest.LoadSuiteString(s) }
 
 // LoadSuiteFile parses a workbook file.
-func LoadSuiteFile(path string) (*Suite, error) {
-	wb, err := sheet.ReadWorkbookFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return LoadSuite(wb)
-}
+//
+// Deprecated: use comptest.LoadSuiteFile.
+func LoadSuiteFile(path string) (*Suite, error) { return comptest.LoadSuiteFile(path) }
 
-// Test returns the named test case, or nil.
-func (s *Suite) Test(name string) *testdef.TestCase {
-	for _, tc := range s.Tests {
-		if tc.Name == name {
-			return tc
-		}
-	}
-	return nil
-}
-
-// GenerateScripts generates one XML script per test case.
-func (s *Suite) GenerateScripts() ([]*script.Script, error) {
-	return script.GenerateAll(s.Tests, s.Signals, s.Statuses)
-}
-
-// GenerateScript generates the script of one named test case.
-func (s *Suite) GenerateScript(name string) (*script.Script, error) {
-	tc := s.Test(name)
-	if tc == nil {
-		return nil, fmt.Errorf("core: no test case %q", name)
-	}
-	return script.Generate(tc, s.Signals, s.Statuses)
-}
-
-// LoadStandConfig parses a stand workbook ("Resources" + "Connections"
-// sheets) into a stand configuration.
+// LoadStandConfig parses a stand workbook into a stand configuration.
+//
+// Deprecated: use comptest.LoadStandConfig.
 func LoadStandConfig(wb *sheet.Workbook, name string, ubattVolts float64) (stand.Config, error) {
-	reg := method.Builtin()
-	resSheet := wb.Sheet("Resources")
-	if resSheet == nil {
-		return stand.Config{}, fmt.Errorf("core: stand workbook lacks sheet %q", "Resources")
-	}
-	conSheet := wb.Sheet("Connections")
-	if conSheet == nil {
-		return stand.Config{}, fmt.Errorf("core: stand workbook lacks sheet %q", "Connections")
-	}
-	cat, err := resource.ParseSheet(resSheet, reg)
-	if err != nil {
-		return stand.Config{}, err
-	}
-	m, err := topology.ParseSheet(conSheet)
-	if err != nil {
-		return stand.Config{}, err
-	}
-	return stand.Config{Name: name, UbattVolts: ubattVolts, Catalog: cat, Matrix: m}, nil
+	return comptest.LoadStandConfig(wb, name, ubattVolts)
 }
 
 // Execute builds the stand, attaches the DUT and runs one script.
+//
+// Deprecated: use comptest.NewRunner(comptest.WithStandConfig(cfg),
+// comptest.WithDUTFactory(…)) and Runner.RunScript.
 func Execute(sc *script.Script, cfg stand.Config, dut ecu.ECU) (*report.Report, error) {
-	st, err := stand.New(cfg, method.Builtin())
+	opts := []comptest.Option{comptest.WithStandConfig(cfg)}
+	if dut != nil {
+		opts = append(opts, comptest.WithDUTFactory(func() ecu.ECU { return dut }))
+	}
+	r, err := comptest.NewRunner(opts...)
 	if err != nil {
 		return nil, err
 	}
-	if dut != nil {
-		if err := st.AttachDUT(dut); err != nil {
-			return nil, err
-		}
-	}
-	return st.Run(sc), nil
+	return r.RunScript(context.Background(), sc)
 }
 
 // RunWorkbook is the complete paper pipeline for one workbook on one
 // stand: load, validate, generate, execute every test, report.
+//
+// Deprecated: use comptest.Runner.RunWorkbook.
 func RunWorkbook(workbook string, cfg stand.Config, dutFactory func() ecu.ECU) ([]*report.Report, error) {
-	suite, err := LoadSuiteString(workbook)
-	if err != nil {
-		return nil, err
-	}
-	scripts, err := suite.GenerateScripts()
-	if err != nil {
-		return nil, err
-	}
-	st, err := stand.New(cfg, suite.Registry)
-	if err != nil {
-		return nil, err
-	}
+	opts := []comptest.Option{comptest.WithStandConfig(cfg)}
 	if dutFactory != nil {
-		if err := st.AttachDUT(dutFactory()); err != nil {
-			return nil, err
-		}
+		opts = append(opts, comptest.WithDUTFactory(dutFactory))
 	}
-	var reps []*report.Report
-	for _, sc := range scripts {
-		reps = append(reps, st.Run(sc))
+	r, err := comptest.NewRunner(opts...)
+	if err != nil {
+		return nil, err
 	}
-	return reps, nil
+	return r.RunWorkbook(context.Background(), workbook)
 }
 
 // AnalyzeReuse wraps reuse.Analyze for stand configurations.
+//
+// Deprecated: use comptest.AnalyzeReuse.
 func AnalyzeReuse(scripts []*script.Script, cfgs []stand.Config) (*reuse.Matrix, error) {
-	infos := make([]reuse.StandInfo, len(cfgs))
-	for i, c := range cfgs {
-		infos[i] = reuse.StandInfo{Name: c.Name, Catalog: c.Catalog}
-	}
-	return reuse.Analyze(scripts, infos, method.Builtin())
+	return comptest.AnalyzeReuse(scripts, cfgs)
 }
 
 // WriteScriptFile generates and writes one script as XML.
+//
+// Deprecated: use comptest.WriteScriptFile.
 func WriteScriptFile(path string, sc *script.Script) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return script.Encode(f, sc)
+	return comptest.WriteScriptFile(path, sc)
 }

@@ -21,6 +21,7 @@
 package stand
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -291,12 +292,28 @@ func (s *Stand) CanRun(sc *script.Script) error {
 
 // Run executes the script and returns the verdict report.
 func (s *Stand) Run(sc *script.Script) *report.Report {
+	return s.RunContext(context.Background(), sc)
+}
+
+// RunContext executes the script, checking ctx between steps. On
+// cancellation the executed steps keep their verdicts, every remaining
+// statement is reported as a SKIP check, and FatalErr records the
+// context error — so Passed() is false and the report still shows how
+// far the run got. Simulated time inside a step is never interrupted:
+// a step is the atomic unit of execution, exactly as on real hardware
+// where an operator abort takes effect at the next step boundary.
+func (s *Stand) RunContext(ctx context.Context, sc *script.Script) *report.Report {
 	rep := &report.Report{Script: sc.Name, Stand: s.cfg.Name}
 	if s.dut != nil {
 		rep.DUT = s.dut.Name()
 	}
 	if err := script.Validate(sc, s.reg); err != nil {
 		rep.FatalErr = err.Error()
+		return rep
+	}
+	if err := ctx.Err(); err != nil {
+		rep.FatalErr = err.Error()
+		s.skipRemaining(rep, sc.Steps, err)
 		return rep
 	}
 	s.resetRun()
@@ -310,11 +327,32 @@ func (s *Stand) Run(sc *script.Script) *report.Report {
 	}
 	s.sched.Advance(s.cfg.SettleTime)
 
-	for _, step := range sc.Steps {
+	for i, step := range sc.Steps {
+		if err := ctx.Err(); err != nil {
+			rep.FatalErr = err.Error()
+			s.skipRemaining(rep, sc.Steps[i:], err)
+			return rep
+		}
 		res := s.runStep(sc, step)
 		rep.Steps = append(rep.Steps, res)
 	}
 	return rep
+}
+
+// skipRemaining records the unexecuted steps of an aborted run as SKIP
+// verdicts.
+func (s *Stand) skipRemaining(rep *report.Report, steps []*script.Step, cause error) {
+	for _, step := range steps {
+		res := report.StepResult{Nr: step.Nr, Dt: step.Dt, Remark: step.Remark}
+		for _, st := range step.Signals {
+			res.Checks = append(res.Checks, report.Check{
+				Signal: st.Name, Method: st.Call.Method,
+				Expected: s.expectation(st), Measured: "-",
+				Verdict: report.Skip, Detail: cause.Error(),
+			})
+		}
+		rep.Steps = append(rep.Steps, res)
+	}
 }
 
 // resetRun restores power-on state between script executions.
