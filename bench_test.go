@@ -9,12 +9,14 @@ import (
 	"testing"
 
 	"repro/comptest"
+	"repro/comptest/mutation"
 	"repro/internal/alloc"
 	"repro/internal/analog"
 	"repro/internal/ecu"
 	"repro/internal/expr"
 	"repro/internal/method"
 	"repro/internal/paper"
+	"repro/internal/report"
 	"repro/internal/resource"
 	"repro/internal/script"
 	"repro/internal/sheet"
@@ -488,6 +490,42 @@ func BenchmarkCampaignMatrix(b *testing.B) {
 					want = sum
 				} else if sum != want {
 					b.Fatalf("verdicts changed under parallelism: %s != %s", sum, want)
+				}
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------------ mutation --
+
+// BenchmarkMutationMatrix runs the complete mutation kill matrix of
+// every built-in DUT model — all registered faults plus the derived
+// script mutants, each against its suite — at increasing worker-pool
+// bounds. parallel_1 is the sequential baseline; the kill scores must
+// not depend on the bound.
+func BenchmarkMutationMatrix(b *testing.B) {
+	plans, err := mutation.EnumerateBuiltin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := map[string]report.Score{}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel_%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range plans {
+					m, err := mutation.Run(context.Background(), p, mutation.Options{Parallelism: par})
+					if err != nil {
+						b.Fatal(err)
+					}
+					s := m.Score()
+					if s.Total == 0 {
+						b.Fatalf("%s: empty kill matrix", p.DUT)
+					}
+					if w, ok := want[p.DUT]; !ok {
+						want[p.DUT] = s
+					} else if w != s {
+						b.Fatalf("%s: kill score changed under parallelism: %s != %s", p.DUT, s, w)
+					}
 				}
 			}
 		})

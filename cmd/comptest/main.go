@@ -7,14 +7,15 @@
 //
 //	comptest gen    -workbook FILE [-test NAME] [-out DIR]
 //	comptest lint   -workbook FILE
-//	comptest run    -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit]
+//	comptest run    -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit] [-junit FILE]
+//	comptest mutate [-workbook FILE] [-dut NAME] [-all] [-parallel N] [-format text|json]
 //	comptest reuse  -workbook FILE
 //	comptest tables
 //
 // Stands: paper_stand (Tables 3+4 + CAN adapter), full_lab, mini_bench,
 // hil_rack. DUTs: interior_light, central_locking, window_lifter,
 // exterior_light.
-// Without -workbook, gen/lint/run/reuse use the paper's built-in
+// Without -workbook, gen/lint/run/reuse/mutate use the paper's built-in
 // interior-illumination workbook.
 package main
 
@@ -28,7 +29,7 @@ import (
 	"strings"
 
 	"repro/comptest"
-	"repro/internal/ecu"
+	"repro/comptest/mutation"
 	"repro/internal/knowledge"
 	"repro/internal/lint"
 	"repro/internal/method"
@@ -62,6 +63,8 @@ func run(args []string, out io.Writer) error {
 		return cmdLint(args[1:], out)
 	case "run":
 		return cmdRun(args[1:], out)
+	case "mutate":
+		return cmdMutate(args[1:], out)
 	case "reuse":
 		return cmdReuse(args[1:], out)
 	case "tables":
@@ -84,7 +87,9 @@ func usage(out io.Writer) {
 subcommands:
   gen    -workbook FILE [-test NAME] [-out DIR]    generate XML test scripts
   lint   -workbook FILE                            validate a workbook
-  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit]
+  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit] [-junit FILE]
+  mutate [-workbook FILE] [-dut NAME] [-stand NAME] [-all] [-parallel N] [-format text|json]
+                                                   mutation kill matrix + test-strength report
   reuse  [-workbook FILE]                          cross-stand reuse matrix
   tables                                           regenerate the paper's tables
   archive [-out FILE] [-origin NAME]               archive built-in suites as a knowledge base
@@ -214,6 +219,7 @@ func cmdRun(args []string, out io.Writer) error {
 	fault := fs.String("fault", "", "inject a named fault into the DUT")
 	parallel := fs.Int("parallel", 1, "run up to N scripts concurrently, each on its own stand instance")
 	format := fs.String("format", "text", "report format: text, csv, xml or junit")
+	junitPath := fs.String("junit", "", "also write the campaign as one JUnit <testsuites> file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,23 +235,15 @@ func cmdRun(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	// Validate the DUT name and fault once, up front; the factory then
-	// produces an independently faulted instance per execution unit.
-	probe, err := comptest.NewDUT(*dutName)
+	// The factory produces an independently faulted instance per
+	// execution unit; name and fault are validated once, up front.
+	var faults []string
+	if *fault != "" {
+		faults = []string{*fault}
+	}
+	factory, err := comptest.FaultedFactory(*dutName, faults...)
 	if err != nil {
 		return err
-	}
-	if *fault != "" {
-		if err := probe.InjectFault(*fault); err != nil {
-			return err
-		}
-	}
-	factory := func() ecu.ECU {
-		dut, _ := comptest.NewDUT(*dutName)
-		if *fault != "" {
-			_ = dut.InjectFault(*fault)
-		}
-		return dut
 	}
 	// Reports are streamed in script order even when -parallel reorders
 	// completion. The first write failure cancels the campaign so the
@@ -253,7 +251,14 @@ func cmdRun(args []string, out io.Writer) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var writeErr error
+	var reports []*report.Report // in Seq order, for -junit
 	sink := comptest.Ordered(comptest.SinkFunc(func(res comptest.Result) {
+		// Completed reports are always recorded: the -junit file must
+		// cover everything that ran, even after an output-write error
+		// stops the streamed rendering.
+		if res.Err == nil {
+			reports = append(reports, res.Report)
+		}
 		if writeErr != nil {
 			return
 		}
@@ -276,6 +281,21 @@ func cmdRun(args []string, out io.Writer) error {
 		return err
 	}
 	sum, err := r.Campaign(ctx, comptest.Cross(scripts, []string{*standName}, ""))
+	// The JUnit file records whatever completed, even when the campaign
+	// fails — a red run is exactly what CI wants to ingest.
+	if *junitPath != "" {
+		f, ferr := os.Create(*junitPath)
+		if ferr != nil {
+			return ferr
+		}
+		ferr = report.WriteJUnitSuites(f, reports)
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			return ferr
+		}
+	}
 	if writeErr != nil {
 		return writeErr
 	}
@@ -286,6 +306,76 @@ func cmdRun(args []string, out io.Writer) error {
 		return fmt.Errorf("test run FAILED (%s)", sum)
 	}
 	return nil
+}
+
+// cmdMutate runs the mutation kill matrix and prints the test-strength
+// report: kill scores per DUT and requirement, the surviving mutants,
+// and the lint coverage findings that explain them.
+func cmdMutate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mutate", flag.ContinueOnError)
+	workbook := fs.String("workbook", "", "workbook file (default: built-in workbook of the DUT)")
+	dutName := fs.String("dut", "interior_light", "DUT model to mutate")
+	standName := fs.String("stand", "", "stand profile (default: the DUT's known-green stand)")
+	all := fs.Bool("all", false, "mutate every registered DUT with a built-in workbook")
+	parallel := fs.Int("parallel", 1, "run up to N mutant executions concurrently")
+	format := fs.String("format", "text", "report format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	var plans []*mutation.Plan
+	if *all {
+		// -all enumerates every builtin DUT on its own default stand; a
+		// single-target flag alongside it would be silently ignored.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "dut", "stand", "workbook":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("mutate: -all conflicts with -%s", conflict)
+		}
+		var err error
+		if plans, err = mutation.EnumerateBuiltin(); err != nil {
+			return err
+		}
+	} else {
+		suite, _, err := loadWorkbook(*workbook, builtinFor(*dutName))
+		if err != nil {
+			return err
+		}
+		plan, err := mutation.Enumerate(*dutName, *standName, suite)
+		if err != nil {
+			return err
+		}
+		plans = []*mutation.Plan{plan}
+	}
+
+	var strength report.Strength
+	for _, plan := range plans {
+		mat, err := mutation.Run(context.Background(), plan, mutation.Options{Parallelism: *parallel})
+		if err != nil {
+			return err
+		}
+		// A mutant whose execution could not even be built has no
+		// verdict; reporting a clean-looking matrix around it would
+		// overstate the suite's strength.
+		if errored := mat.Errored(); len(errored) > 0 {
+			return fmt.Errorf("mutate: %s: mutant %s could not be executed: %v",
+				plan.DUT, errored[0].Mutant.ID, errored[0].Err)
+		}
+		findings := lint.Check(plan.Suite.Signals, plan.Suite.Statuses, plan.Suite.Tests)
+		strength.DUTs = append(strength.DUTs, mat.Strength(findings))
+	}
+	if *format == "json" {
+		return report.WriteStrengthJSON(out, &strength)
+	}
+	return report.WriteStrengthText(out, &strength)
 }
 
 func cmdReuse(args []string, out io.Writer) error {

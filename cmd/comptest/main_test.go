@@ -218,3 +218,74 @@ func TestRunJUnitFormat(t *testing.T) {
 		t.Errorf("junit run: %v\n%s", err, out)
 	}
 }
+
+func TestRunJUnitFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.xml")
+	// central_locking has a 4-script suite: the file must hold one
+	// <testsuite> per campaign report under a <testsuites> root.
+	if _, err := runCLI(t, "run", "-dut", "central_locking", "-stand", "full_lab", "-junit", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "<testsuites") {
+		t.Error("missing <testsuites> root")
+	}
+	if n := strings.Count(text, "<testsuite name="); n != 4 {
+		t.Errorf("got %d testsuite elements, want 4:\n%s", n, text)
+	}
+	// A failing campaign still writes the file, with the failures in it.
+	path2 := filepath.Join(t.TempDir(), "failed.xml")
+	if _, err := runCLI(t, "run", "-fault", "stuck_off", "-junit", path2); err == nil {
+		t.Fatal("faulty DUT passed")
+	}
+	data, err = os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<failure") {
+		t.Error("failed campaign's JUnit file records no <failure>")
+	}
+}
+
+func TestMutate(t *testing.T) {
+	out, err := runCLI(t, "mutate")
+	if err != nil {
+		t.Fatalf("mutate: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"interior_light on paper_stand",
+		"SURVIVED  fault/only_fl",
+		"unstimulated-input",
+		"by requirement:",
+		"killed    fault/stuck_off",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mutate output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMutateJSON(t *testing.T) {
+	out, err := runCLI(t, "mutate", "-format", "json", "-parallel", "2")
+	if err != nil {
+		t.Fatalf("mutate -format json: %v", err)
+	}
+	for _, want := range []string{`"dut": "interior_light"`, `"id": "fault/only_fl"`, `"killed": false`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mutate JSON lacks %q", want)
+		}
+	}
+	if _, err := runCLI(t, "mutate", "-format", "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := runCLI(t, "mutate", "-dut", "toaster"); err == nil {
+		t.Error("unknown DUT accepted")
+	}
+	if _, err := runCLI(t, "mutate", "-all", "-dut", "interior_light"); err == nil {
+		t.Error("-all with -dut accepted; the single-target flag would be ignored")
+	}
+}

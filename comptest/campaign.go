@@ -16,6 +16,11 @@ type Unit struct {
 	Script *script.Script
 	Stand  string // registered stand profile, "" = Runner default
 	DUT    string // registered DUT model, "" = Runner default
+	// Factory, when non-nil, builds this unit's DUT instance directly,
+	// overriding both DUT and the Runner's default. Campaign calls it
+	// once per unit, so mutated models (see FaultedFactory) never share
+	// state across concurrent executions.
+	Factory DUTFactory
 }
 
 // Result is the outcome of one Unit, streamed to sinks as it completes.
@@ -204,7 +209,7 @@ func (r *Runner) runUnit(ctx context.Context, seq int, u Unit) Result {
 		res.Err = fmt.Errorf("comptest: unit %d has no script", seq)
 		return res
 	}
-	st, err := r.newStand(u.Stand, u.DUT, u.Script)
+	st, err := r.newStand(u.Stand, u.DUT, u.Factory, u.Script)
 	if err != nil {
 		res.Err = err
 		return res

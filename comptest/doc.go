@@ -31,7 +31,10 @@
 // (RegisterStand, RegisterDUT) keyed by name — the four built-in stand
 // profiles (paper_stand, full_lab, mini_bench, hil_rack) and the four
 // built-in ECU models (interior_light, central_locking, window_lifter,
-// exterior_light) are pre-registered.
+// exterior_light) are pre-registered. FaultedFactory builds mutated
+// instances of a registered model; the comptest/mutation subpackage
+// uses it to run full mutation-testing campaigns (mutant enumeration,
+// kill matrix, test-strength reports) on top of Campaign.
 //
 // The deprecated internal/core package is a thin shim over this package.
 package comptest

@@ -1,0 +1,213 @@
+package mutation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/comptest"
+	"repro/internal/lint"
+	"repro/internal/report"
+)
+
+// Outcome is the kill-matrix verdict on one mutant.
+type Outcome struct {
+	Mutant *Mutant
+	// Killed reports whether at least one run of the mutant's script
+	// set failed — the suite's verdict deviated from the baseline.
+	Killed bool
+	// Witness is the first failing check of the first failing run,
+	// empty for survivors.
+	Witness string
+	// Runs and Failed count the executions behind the verdict.
+	Runs   int
+	Failed int
+	// Err is set when an execution could not even be built; the
+	// verdict is then meaningless and excluded from scores.
+	Err error
+}
+
+// Matrix is the completed kill matrix for one plan.
+type Matrix struct {
+	DUT      string
+	Stand    string
+	Plan     *Plan
+	Outcomes []Outcome
+}
+
+// Options configures a mutation campaign run.
+type Options struct {
+	// Parallelism bounds the campaign worker pool (default 1).
+	Parallelism int
+}
+
+// Run executes the plan's full kill matrix: the clean baseline plus
+// every mutant's script set, all fanned out as ONE campaign over the
+// bounded worker pool, so mutants of different cost interleave freely.
+// It fails if the baseline does not pass — a red baseline makes every
+// kill meaningless.
+func Run(ctx context.Context, plan *Plan, opts Options) (*Matrix, error) {
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+
+	// Unit i belongs to mutant owner[i]; -1 marks a baseline unit.
+	var units []comptest.Unit
+	var owner []int
+	for _, sc := range plan.Baseline {
+		units = append(units, comptest.Unit{Script: sc, Stand: plan.Stand, Factory: plan.factory})
+		owner = append(owner, -1)
+	}
+	for mi := range plan.Mutants {
+		m := &plan.Mutants[mi]
+		for _, sc := range m.scripts {
+			units = append(units, comptest.Unit{Script: sc, Stand: plan.Stand, Factory: m.factory})
+			owner = append(owner, mi)
+		}
+	}
+
+	collector := &comptest.Collector{}
+	r, err := comptest.NewRunner(
+		comptest.WithStand(plan.Stand),
+		comptest.WithParallelism(par),
+		comptest.WithSink(collector),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.Campaign(ctx, units); err != nil {
+		return nil, err
+	}
+
+	results := collector.Results()
+	sort.Slice(results, func(i, j int) bool { return results[i].Seq < results[j].Seq })
+
+	mat := &Matrix{DUT: plan.DUT, Stand: plan.Stand, Plan: plan,
+		Outcomes: make([]Outcome, len(plan.Mutants))}
+	for i := range mat.Outcomes {
+		mat.Outcomes[i].Mutant = &plan.Mutants[i]
+	}
+	for _, res := range results {
+		mi := owner[res.Seq]
+		if mi < 0 { // baseline
+			switch {
+			case res.Err != nil:
+				return nil, fmt.Errorf("mutation: baseline %s on %s: %v",
+					res.Unit.Script.Name, plan.Stand, res.Err)
+			case !res.Report.Passed():
+				return nil, fmt.Errorf("mutation: baseline must pass, but %s",
+					res.Report.Summary())
+			}
+			continue
+		}
+		o := &mat.Outcomes[mi]
+		if res.Err != nil {
+			if o.Err == nil {
+				o.Err = res.Err
+			}
+			continue
+		}
+		o.Runs++
+		if !res.Report.Passed() {
+			o.Failed++
+			if !o.Killed {
+				o.Killed = true
+				o.Witness = witness(res)
+			}
+		}
+	}
+	return mat, nil
+}
+
+// witness renders the first failing check of a failing run.
+func witness(res comptest.Result) string {
+	rep := res.Report
+	for _, step := range rep.Steps {
+		for _, c := range step.Checks {
+			if c.Verdict == report.Fail || c.Verdict == report.Error {
+				w := fmt.Sprintf("%s step %d: %s %s expected %s, measured %s",
+					rep.Script, step.Nr, c.Signal, c.Method, c.Expected, c.Measured)
+				if c.Detail != "" {
+					w += " (" + c.Detail + ")"
+				}
+				return w
+			}
+		}
+	}
+	if rep.FatalErr != "" {
+		return fmt.Sprintf("%s aborted: %s", rep.Script, rep.FatalErr)
+	}
+	return rep.Summary()
+}
+
+// Score tallies the conclusive outcomes (mutants whose execution could
+// not be built are excluded).
+func (m *Matrix) Score() report.Score {
+	var s report.Score
+	for _, o := range m.Outcomes {
+		if o.Err == nil {
+			s.Add(o.Killed)
+		}
+	}
+	return s
+}
+
+// Errored returns the outcomes whose execution could not be built —
+// mutants without a verdict, excluded from Score and Strength. Callers
+// presenting the matrix should surface these rather than let the score
+// silently overstate coverage.
+func (m *Matrix) Errored() []Outcome {
+	var out []Outcome
+	for _, o := range m.Outcomes {
+		if o.Err != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Survivors returns the conclusive outcomes the suite failed to kill.
+func (m *Matrix) Survivors() []Outcome {
+	var out []Outcome
+	for _, o := range m.Outcomes {
+		if o.Err == nil && !o.Killed {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Strength converts the matrix into the report-layer strength record,
+// explaining every survivor with the lint coverage findings that match
+// its signals. Pass the suite's lint findings (lint.Check); nil is
+// accepted and simply yields no explanations.
+func (m *Matrix) Strength(findings []lint.Finding) report.DUTStrength {
+	gaps := lint.CoverageGaps(findings)
+	d := report.DUTStrength{DUT: m.DUT, Stand: m.Stand}
+	for _, o := range m.Outcomes {
+		if o.Err != nil {
+			continue
+		}
+		mo := report.MutantOutcome{
+			ID:          o.Mutant.ID,
+			Kind:        o.Mutant.Kind.String(),
+			Requirement: o.Mutant.Fault.Requirement,
+			Detail:      o.Mutant.Detail,
+			Killed:      o.Killed,
+			Witness:     o.Witness,
+		}
+		if !o.Killed {
+			for _, f := range gaps {
+				for _, sig := range o.Mutant.Signals {
+					if f.Mentions(sig) {
+						mo.Explanations = append(mo.Explanations, f.String())
+						break
+					}
+				}
+			}
+		}
+		d.Mutants = append(d.Mutants, mo)
+	}
+	return d
+}

@@ -152,6 +152,43 @@ func NewDUT(name string) (ecu.ECU, error) {
 	return e.factory(), nil
 }
 
+// FaultedFactory returns a DUTFactory that produces fresh instances of
+// a registered ECU model with the named faults injected. The model and
+// fault names are validated once, up front, on a probe instance; the
+// returned factory then builds an independently faulted instance per
+// execution unit, so concurrent campaign units never share a mutant.
+func FaultedFactory(name string, faults ...string) (DUTFactory, error) {
+	probe, err := NewDUT(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range faults {
+		if err := probe.InjectFault(f); err != nil {
+			return nil, err
+		}
+	}
+	injected := append([]string(nil), faults...)
+	return func() ecu.ECU {
+		// Name and faults were validated above; the registry has no
+		// deregistration, so these calls cannot fail.
+		dut, _ := NewDUT(name)
+		for _, f := range injected {
+			_ = dut.InjectFault(f)
+		}
+		return dut
+	}, nil
+}
+
+// DUTFaults lists the fault injections a registered ECU model supports,
+// with requirement attribution (see ecu.FaultInfo).
+func DUTFaults(name string) ([]ecu.FaultInfo, error) {
+	dut, err := NewDUT(name)
+	if err != nil {
+		return nil, err
+	}
+	return ecu.Faults(dut), nil
+}
+
 // BuiltinWorkbook returns the built-in workbook text of a registered
 // DUT model.
 func BuiltinWorkbook(name string) (string, error) {

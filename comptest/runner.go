@@ -81,10 +81,13 @@ func (r *Runner) standConfig(standName string, sc *script.Script) (stand.Config,
 	return cfg, nil
 }
 
-// newDUT instantiates the DUT for one execution unit: the unit's named
-// model, or the Runner's default. nil means "no DUT".
-func (r *Runner) newDUT(dutName string) (ecu.ECU, error) {
+// newDUT instantiates the DUT for one execution unit: the unit's
+// factory, the unit's named model, or the Runner's default. nil means
+// "no DUT".
+func (r *Runner) newDUT(dutName string, factory DUTFactory) (ecu.ECU, error) {
 	switch {
+	case factory != nil:
+		return factory(), nil
 	case dutName != "":
 		return NewDUT(dutName)
 	case r.dutFactory != nil:
@@ -96,7 +99,7 @@ func (r *Runner) newDUT(dutName string) (ecu.ECU, error) {
 }
 
 // newStand builds and populates a stand for one execution unit.
-func (r *Runner) newStand(standName, dutName string, sc *script.Script) (*stand.Stand, error) {
+func (r *Runner) newStand(standName, dutName string, factory DUTFactory, sc *script.Script) (*stand.Stand, error) {
 	cfg, err := r.standConfig(standName, sc)
 	if err != nil {
 		return nil, err
@@ -105,7 +108,7 @@ func (r *Runner) newStand(standName, dutName string, sc *script.Script) (*stand.
 	if err != nil {
 		return nil, err
 	}
-	dut, err := r.newDUT(dutName)
+	dut, err := r.newDUT(dutName, factory)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +123,7 @@ func (r *Runner) newStand(standName, dutName string, sc *script.Script) (*stand.
 // RunScript executes one script on a freshly built default stand and
 // returns its report. The context is honoured between steps.
 func (r *Runner) RunScript(ctx context.Context, sc *script.Script) (*report.Report, error) {
-	st, err := r.newStand("", "", sc)
+	st, err := r.newStand("", "", nil, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +143,7 @@ func (r *Runner) RunSuite(ctx context.Context, suite *Suite) ([]*report.Report, 
 	if len(scripts) == 0 {
 		return nil, nil
 	}
-	st, err := r.newStand("", "", scripts[0])
+	st, err := r.newStand("", "", nil, scripts[0])
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,10 @@
 //
 // The public API lives in the comptest package (Runner, functional
 // options, stand/DUT registries, concurrent campaigns — see README.md
-// for a quickstart), the building blocks under internal/, the command
-// line tool under cmd/comptest, runnable examples under examples/, and
-// bench_test.go regenerates every table and figure of the paper.
+// for a quickstart), with the mutation-testing subsystem in
+// comptest/mutation (mutant enumeration, kill-matrix campaigns,
+// test-strength reports). The building blocks live under internal/,
+// the command line tool under cmd/comptest, runnable examples under
+// examples/, and bench_test.go regenerates every table and figure of
+// the paper.
 package repro

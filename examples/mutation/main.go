@@ -1,0 +1,72 @@
+// Mutation demonstrates the mutation-testing subsystem on the paper's
+// Section 3 example: it enumerates every mutant of the
+// interior-illumination suite — the model's seven fault injections plus
+// the script-level mutants derived from the workbook (widened limits,
+// dropped steps, flipped stimuli) — fans the kill matrix out over a
+// worker pool, and prints the test-strength report: kill scores per
+// requirement, and every surviving mutant explained by the lint
+// coverage findings that let it escape.
+//
+// The canonical result: the paper's table kills every requirement
+// violation except only_fl (the DUT that only evaluates the front-left
+// door switch), which survives because the table never opens a rear
+// door — exactly the coverage gap lint flags on DS_RL/DS_RR.
+//
+//	go run ./examples/mutation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/comptest"
+	"repro/comptest/mutation"
+	"repro/internal/lint"
+	"repro/internal/paper"
+	"repro/internal/report"
+)
+
+func main() {
+	suite, err := comptest.LoadSuiteString(paper.Workbook)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enumerate the mutant matrix: fault mutants from the model's
+	// registered fault injections, script mutants from systematic
+	// workbook transformations.
+	plan, err := mutation.Enumerate("interior_light", "", suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var faults, scripts int
+	for _, m := range plan.Mutants {
+		if m.Kind == mutation.FaultMutant {
+			faults++
+		} else {
+			scripts++
+		}
+	}
+	fmt.Printf("enumerated %d mutants (%d DUT faults, %d script mutants) on %s\n\n",
+		len(plan.Mutants), faults, scripts, plan.Stand)
+
+	// Run the kill matrix: baseline + every mutant, 4 workers.
+	mat, err := mutation.Run(context.Background(), plan, mutation.Options{Parallelism: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The strength report cross-references survivors with the suite's
+	// lint coverage findings.
+	findings := lint.Check(suite.Signals, suite.Statuses, suite.Tests)
+	strength := &report.Strength{DUTs: []report.DUTStrength{mat.Strength(findings)}}
+	if err := report.WriteStrengthText(os.Stdout, strength); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nThe paper's incompleteness claim, reproduced: a test suite derived")
+	fmt.Println("from written requirements misses what the requirements never state —")
+	fmt.Println("the surviving mutants above are exactly those blind spots.")
+}

@@ -55,11 +55,21 @@ func NewCentralLocking() *CentralLocking {
 	m := &CentralLocking{}
 	m.ModelName = "central_locking"
 	m.registerFaults(
-		"no_autolock",   // R3 violated: never auto-locks
-		"autolock_3kmh", // R3 violated: locks far too early
-		"short_pulse",   // R1/R2 violated: 150 ms motor pulse
-		"no_status",     // R1/R2 violated: CL_LOCKED never updated
-		"crash_ignored", // R4 violated: crash input ignored
+		FaultInfo{Name: "no_autolock", Requirement: "R3",
+			Doc:     "never auto-locks",
+			Signals: []string{"V_SPEED", "LOCK_MOT"}},
+		FaultInfo{Name: "autolock_3kmh", Requirement: "R3",
+			Doc:     "auto-locks at 3 km/h instead of 8 km/h",
+			Signals: []string{"V_SPEED", "LOCK_MOT"}},
+		FaultInfo{Name: "short_pulse", Requirement: "R1",
+			Doc:     "150 ms motor pulse instead of 500 ms",
+			Signals: []string{"LOCK_MOT", "UNLOCK_MOT"}},
+		FaultInfo{Name: "no_status", Requirement: "R1",
+			Doc:     "CL_LOCKED never updated",
+			Signals: []string{"CL_LOCKED"}},
+		FaultInfo{Name: "crash_ignored", Requirement: "R4",
+			Doc:     "crash input ignored",
+			Signals: []string{"CRASH_SW", "UNLOCK_MOT"}},
 	)
 	return m
 }

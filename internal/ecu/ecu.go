@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/analog"
@@ -60,6 +61,44 @@ type ECU interface {
 // body-controller cycle time.
 const TaskPeriod = 10 * time.Millisecond
 
+// FaultInfo describes one supported fault injection: which requirement
+// the deviation violates and which workbook signals its behaviour
+// involves. The mutation subsystem (comptest/mutation) uses the signal
+// list to cross-reference surviving mutants with lint coverage findings.
+type FaultInfo struct {
+	// Name is the injection key passed to InjectFault.
+	Name string
+	// Requirement is the requirement the fault violates (e.g. "R3"),
+	// matching the requirement list in the model's doc comment.
+	Requirement string
+	// Doc is a one-line description of the deviation.
+	Doc string
+	// Signals names the workbook signals whose handling the fault
+	// alters — the signals a test suite must exercise to kill it.
+	Signals []string
+}
+
+// FaultIntrospector is implemented by models that describe their faults
+// beyond the bare names (all built-in models do, via Base).
+type FaultIntrospector interface {
+	FaultInfos() []FaultInfo
+}
+
+// Faults returns the fault descriptions of a model: the full FaultInfo
+// list when the model supports introspection, otherwise entries
+// synthesised from the bare FaultNames.
+func Faults(e ECU) []FaultInfo {
+	if fi, ok := e.(FaultIntrospector); ok {
+		return fi.FaultInfos()
+	}
+	names := e.FaultNames()
+	out := make([]FaultInfo, len(names))
+	for i, n := range names {
+		out[i] = FaultInfo{Name: n}
+	}
+	return out
+}
+
 // ------------------------------------------------------------------ base --
 
 // Base carries the plumbing shared by all models: environment access,
@@ -70,8 +109,13 @@ type Base struct {
 	env       *Env
 	mon       *canbus.Monitor
 	tx        *canbus.TxGroup
-	faults    map[string]bool
-	known     []string
+
+	// faultMu guards the active-fault set: campaigns may inject or
+	// clear faults from a controller goroutine while the simulation
+	// goroutine reads them in Tick.
+	faultMu sync.RWMutex
+	faults  map[string]bool
+	known   []FaultInfo // sorted by name
 }
 
 // Name implements ECU.
@@ -98,39 +142,59 @@ func (b *Base) attachBase(env *Env) error {
 	return nil
 }
 
-// registerFaults declares the supported fault names.
-func (b *Base) registerFaults(names ...string) {
+// registerFaults declares the supported fault injections. It must be
+// called once, from the model constructor, before any concurrent use.
+func (b *Base) registerFaults(infos ...FaultInfo) {
 	b.faults = map[string]bool{}
-	b.known = append([]string(nil), names...)
-	sort.Strings(b.known)
+	b.known = append([]FaultInfo(nil), infos...)
+	sort.Slice(b.known, func(i, j int) bool { return b.known[i].Name < b.known[j].Name })
 }
 
-// InjectFault implements ECU.
+// InjectFault implements ECU. It is safe to call while the model is
+// being ticked by another goroutine.
 func (b *Base) InjectFault(name string) error {
 	for _, k := range b.known {
-		if k == name {
+		if k.Name == name {
+			b.faultMu.Lock()
 			b.faults[name] = true
+			b.faultMu.Unlock()
 			return nil
 		}
 	}
-	return fmt.Errorf("ecu %s: unknown fault %q (have %v)", b.ModelName, name, b.known)
+	return fmt.Errorf("ecu %s: unknown fault %q (have %v)", b.ModelName, name, b.FaultNames())
 }
 
 // FaultNames implements ECU.
 func (b *Base) FaultNames() []string {
 	out := make([]string, len(b.known))
+	for i, k := range b.known {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// FaultInfos implements FaultIntrospector.
+func (b *Base) FaultInfos() []FaultInfo {
+	out := make([]FaultInfo, len(b.known))
 	copy(out, b.known)
 	return out
 }
 
 // Fault reports whether the named fault is active.
-func (b *Base) Fault(name string) bool { return b.faults[name] }
+func (b *Base) Fault(name string) bool {
+	b.faultMu.RLock()
+	on := b.faults[name]
+	b.faultMu.RUnlock()
+	return on
+}
 
 // ClearFaults deactivates all injected faults.
 func (b *Base) ClearFaults() {
+	b.faultMu.Lock()
 	for k := range b.faults {
 		delete(b.faults, k)
 	}
+	b.faultMu.Unlock()
 }
 
 // ----------------------------------------------------------- pin helpers --

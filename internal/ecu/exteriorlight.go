@@ -55,11 +55,21 @@ func NewExteriorLight() *ExteriorLight {
 	m := &ExteriorLight{}
 	m.ModelName = "exterior_light"
 	m.registerFaults(
-		"no_fmh",         // R3 violated: no follow-me-home
-		"fmh_10s",        // R3 violated: times out far too early
-		"drl_slow_pwm",   // R2 violated: 10 Hz instead of 25 Hz
-		"drl_at_night",   // R2 violated: DRL also runs at night
-		"fog_stuck_open", // R4 violated: relay never closes
+		FaultInfo{Name: "no_fmh", Requirement: "R3",
+			Doc:     "no follow-me-home",
+			Signals: []string{"IGN", "LB_OUT"}},
+		FaultInfo{Name: "fmh_10s", Requirement: "R3",
+			Doc:     "follow-me-home times out after 10 s instead of 30 s",
+			Signals: []string{"LB_OUT"}},
+		FaultInfo{Name: "drl_slow_pwm", Requirement: "R2",
+			Doc:     "10 Hz DRL modulation instead of 25 Hz",
+			Signals: []string{"DRL_OUT"}},
+		FaultInfo{Name: "drl_at_night", Requirement: "R2",
+			Doc:     "DRL also runs at night",
+			Signals: []string{"NIGHT", "DRL_OUT"}},
+		FaultInfo{Name: "fog_stuck_open", Requirement: "R4",
+			Doc:     "rear fog relay never closes",
+			Signals: []string{"FOG_SW", "REAR_FOG"}},
 	)
 	return m
 }

@@ -1,0 +1,136 @@
+package ecu
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// allModels builds one fresh instance of every built-in model.
+func allModels() []ECU {
+	return []ECU{
+		NewInteriorLight(),
+		NewCentralLocking(),
+		NewWindowLifter(),
+		NewExteriorLight(),
+	}
+}
+
+func TestFaultLifecycle(t *testing.T) {
+	for _, m := range allModels() {
+		names := m.FaultNames()
+		if len(names) == 0 {
+			t.Fatalf("%s: no faults registered", m.Name())
+		}
+		for _, n := range names {
+			if err := m.InjectFault(n); err != nil {
+				t.Fatalf("%s: inject %s: %v", m.Name(), n, err)
+			}
+		}
+		b := m.(interface {
+			Fault(string) bool
+			ClearFaults()
+		})
+		for _, n := range names {
+			if !b.Fault(n) {
+				t.Errorf("%s: fault %s not active after InjectFault", m.Name(), n)
+			}
+		}
+		b.ClearFaults()
+		for _, n := range names {
+			if b.Fault(n) {
+				t.Errorf("%s: fault %s still active after ClearFaults", m.Name(), n)
+			}
+		}
+	}
+}
+
+func TestInjectUnknownFault(t *testing.T) {
+	m := NewInteriorLight()
+	err := m.InjectFault("warp_core_breach")
+	if err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	// The error must identify the model and list the valid injections.
+	for _, want := range []string{"interior_light", "warp_core_breach", "only_fl"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %q", err, want)
+		}
+	}
+}
+
+// TestFaultIntrospection: every model describes every fault — name,
+// violated requirement, doc and at least one involved signal, in
+// FaultNames order — so the mutation subsystem can attribute kill
+// scores per requirement and cross-reference survivors with lint.
+func TestFaultIntrospection(t *testing.T) {
+	for _, m := range allModels() {
+		infos := Faults(m)
+		names := m.FaultNames()
+		if len(infos) != len(names) {
+			t.Fatalf("%s: %d infos for %d faults", m.Name(), len(infos), len(names))
+		}
+		for i, fi := range infos {
+			if fi.Name != names[i] {
+				t.Errorf("%s: info %d is %q, want %q", m.Name(), i, fi.Name, names[i])
+			}
+			if fi.Requirement == "" || fi.Doc == "" || len(fi.Signals) == 0 {
+				t.Errorf("%s/%s: incomplete FaultInfo %+v", m.Name(), fi.Name, fi)
+			}
+		}
+	}
+}
+
+// TestFaultsWithoutIntrospection covers the fallback for third-party
+// models that only implement the narrow ECU interface.
+func TestFaultsWithoutIntrospection(t *testing.T) {
+	var e ECU = struct{ ECU }{NewInteriorLight()} // hides FaultInfos
+	infos := Faults(e)
+	if len(infos) != len(e.FaultNames()) {
+		t.Fatalf("fallback produced %d infos for %d names", len(infos), len(e.FaultNames()))
+	}
+	for i, fi := range infos {
+		if fi.Name != e.FaultNames()[i] || fi.Requirement != "" {
+			t.Errorf("fallback info %d = %+v", i, fi)
+		}
+	}
+}
+
+// TestFaultRaceCleanliness hammers the fault set from a controller
+// goroutine while the model ticks in the simulation goroutine — the
+// situation a campaign creates when it injects faults into a running
+// mutant. Run under -race this proves InjectFault/ClearFaults/Fault
+// need no external locking.
+func TestFaultRaceCleanliness(t *testing.T) {
+	r := newRig(t)
+	m := NewInteriorLight()
+	tick := r.attach(m)
+	defer tick.Stop()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, n := range m.FaultNames() {
+				_ = m.InjectFault(n)
+			}
+			_ = m.InjectFault("nonsense")
+			m.ClearFaults()
+		}
+	}()
+	// The simulation side: ticking reads the fault set on every cycle.
+	r.sched.Advance(2 * time.Second) // 200 ticks
+	close(stop)
+	wg.Wait()
+	if tick.Err() != nil {
+		t.Fatal(tick.Err())
+	}
+}

@@ -51,13 +51,27 @@ func NewInteriorLight() *InteriorLight {
 	m := &InteriorLight{}
 	m.ModelName = "interior_light"
 	m.registerFaults(
-		"timeout_200s",    // R3 violated: lamp times out after 200 s
-		"no_timeout",      // R3 violated: lamp never times out
-		"ignore_night",    // R1 violated: lamp also lights at day
-		"only_fl",         // R2 violated: only the front-left door is evaluated
-		"stuck_off",       // R2 violated: lamp never lights
-		"no_close_off",    // R4 violated: lamp stays on after closing until timeout
-		"inverted_output", // output driver polarity inverted
+		FaultInfo{Name: "timeout_200s", Requirement: "R3",
+			Doc:     "lamp times out after 200 s instead of 300 s",
+			Signals: []string{"INT_ILL"}},
+		FaultInfo{Name: "no_timeout", Requirement: "R3",
+			Doc:     "lamp never times out",
+			Signals: []string{"INT_ILL"}},
+		FaultInfo{Name: "ignore_night", Requirement: "R1",
+			Doc:     "lamp also lights at day",
+			Signals: []string{"NIGHT", "INT_ILL"}},
+		FaultInfo{Name: "only_fl", Requirement: "R2",
+			Doc:     "only the front-left door switch is evaluated",
+			Signals: []string{"DS_FR", "DS_RL", "DS_RR"}},
+		FaultInfo{Name: "stuck_off", Requirement: "R2",
+			Doc:     "lamp never lights",
+			Signals: []string{"INT_ILL"}},
+		FaultInfo{Name: "no_close_off", Requirement: "R4",
+			Doc:     "lamp stays on after closing until timeout",
+			Signals: []string{"INT_ILL"}},
+		FaultInfo{Name: "inverted_output", Requirement: "R1",
+			Doc:     "output driver polarity inverted",
+			Signals: []string{"INT_ILL"}},
 	)
 	return m
 }

@@ -51,10 +51,18 @@ func NewWindowLifter() *WindowLifter {
 	m := &WindowLifter{}
 	m.ModelName = "window_lifter"
 	m.registerFaults(
-		"no_interlock", // R4 violated: both motors drive together
-		"travel_8s",    // R3 violated: end stop detected far too late
-		"no_thermal",   // R5 violated: no thermal protection
-		"stuck_up",     // MOT_UP permanently on
+		FaultInfo{Name: "no_interlock", Requirement: "R4",
+			Doc:     "both motors drive when both switches are pressed",
+			Signals: []string{"SW_UP", "SW_DOWN", "MOT_UP", "MOT_DOWN"}},
+		FaultInfo{Name: "travel_8s", Requirement: "R3",
+			Doc:     "end stop detected after 8 s instead of 4 s",
+			Signals: []string{"MOT_UP", "MOT_DOWN"}},
+		FaultInfo{Name: "no_thermal", Requirement: "R5",
+			Doc:     "no thermal protection",
+			Signals: []string{"MOT_UP", "MOT_DOWN"}},
+		FaultInfo{Name: "stuck_up", Requirement: "R1",
+			Doc:     "MOT_UP permanently on",
+			Signals: []string{"MOT_UP"}},
 	)
 	return m
 }

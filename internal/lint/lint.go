@@ -64,6 +64,38 @@ func Check(sigs *sigdef.List, tbl *status.Table, tests []*testdef.TestCase) []Fi
 	return out
 }
 
+// coverageGapCodes are the finding codes that indicate the test suite
+// fails to exercise part of the DUT interface — the findings that
+// explain why a requirement mutant can survive the suite.
+var coverageGapCodes = map[string]bool{
+	"unstimulated-input": true,
+	"unmeasured-output":  true,
+	"never-toggled":      true,
+	"empty-column":       true,
+}
+
+// CoverageGaps filters the findings to coverage gaps: signals the suite
+// never stimulates, never toggles or never measures. The mutation
+// subsystem cites these to explain surviving mutants (the only_fl
+// mutant survives the paper's table because DS_RL/DS_RR are
+// unstimulated-input findings).
+func CoverageGaps(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if coverageGapCodes[f.Code] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Mentions reports whether the finding's message names the signal. Lint
+// messages always quote signal names, so the match is on the quoted,
+// case-folded form and cannot fire on a substring of a longer name.
+func (f Finding) Mentions(signal string) bool {
+	return strings.Contains(strings.ToLower(f.Msg), strings.ToLower(`"`+signal+`"`))
+}
+
 // Warnings filters the findings to warnings only.
 func Warnings(fs []Finding) []Finding {
 	var out []Finding

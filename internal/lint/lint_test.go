@@ -206,3 +206,39 @@ func TestWarningsSortedFirst(t *testing.T) {
 		}
 	}
 }
+
+func TestCoverageGaps(t *testing.T) {
+	fs := findings(t, paper.Workbook)
+	gaps := CoverageGaps(fs)
+	if len(gaps) == 0 {
+		t.Fatal("paper workbook yields no coverage gaps")
+	}
+	for _, g := range gaps {
+		switch g.Code {
+		case "unstimulated-input", "unmeasured-output", "never-toggled", "empty-column":
+		default:
+			t.Errorf("non-coverage finding %q classified as gap", g.Code)
+		}
+	}
+	// The paper table's canonical gaps: the rear doors are never
+	// stimulated — the reason the only_fl mutant survives.
+	if !hasCode(gaps, "unstimulated-input", "DS_RL") || !hasCode(gaps, "unstimulated-input", "DS_RR") {
+		t.Errorf("rear-door gaps missing from %v", gaps)
+	}
+	// Limit findings are quality issues, not coverage gaps.
+	mixed := append(gaps, Finding{Warning, "inverted-limits", `status "X" has min 2 above max 1`})
+	if n := len(CoverageGaps(mixed)); n != len(gaps) {
+		t.Errorf("inverted-limits leaked into gaps (%d != %d)", n, len(gaps))
+	}
+}
+
+func TestFindingMentions(t *testing.T) {
+	f := Finding{Warning, "unstimulated-input", `input signal "DS_RL" is never stimulated by any test`}
+	if !f.Mentions("DS_RL") || !f.Mentions("ds_rl") {
+		t.Error("Mentions misses the quoted signal")
+	}
+	// Unquoted substrings must not match: "DS_R" is not a signal here.
+	if f.Mentions("DS_R") || f.Mentions("DS_RR") {
+		t.Error("Mentions matched a non-mentioned signal")
+	}
+}

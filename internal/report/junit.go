@@ -36,11 +36,21 @@ type junitSuite struct {
 	Cases    []junitCase `xml:"testcase"`
 }
 
-// WriteJUnit renders the report in JUnit XML form. The per-case time is
-// the step duration (simulated seconds), attributed to the step's first
-// check and zero for the rest, so the suite total matches the script's
-// nominal duration.
-func WriteJUnit(w io.Writer, r *Report) error {
+type junitSuites struct {
+	XMLName  xml.Name     `xml:"testsuites"`
+	Tests    int          `xml:"tests,attr"`
+	Failures int          `xml:"failures,attr"`
+	Errors   int          `xml:"errors,attr"`
+	Skipped  int          `xml:"skipped,attr"`
+	Time     float64      `xml:"time,attr"`
+	Suites   []junitSuite `xml:"testsuite"`
+}
+
+// buildJUnitSuite converts one report into a <testsuite>. The per-case
+// time is the step duration (simulated seconds), attributed to the
+// step's first check and zero for the rest, so the suite total matches
+// the script's nominal duration.
+func buildJUnitSuite(r *Report) junitSuite {
 	s := junitSuite{Name: r.Script + " on " + r.Stand}
 	for _, step := range r.Steps {
 		first := true
@@ -81,12 +91,18 @@ func WriteJUnit(w io.Writer, r *Report) error {
 			Error: &junitFailure{Message: r.FatalErr, Type: "fatal", Body: r.FatalErr},
 		})
 	}
+	return s
+}
+
+// encodeJUnit writes any JUnit document with the standard header and
+// indentation.
+func encodeJUnit(w io.Writer, doc any) error {
 	if _, err := io.WriteString(w, xml.Header); err != nil {
 		return err
 	}
 	e := xml.NewEncoder(w)
 	e.Indent("", "  ")
-	if err := e.Encode(s); err != nil {
+	if err := e.Encode(doc); err != nil {
 		return err
 	}
 	if err := e.Close(); err != nil {
@@ -94,4 +110,26 @@ func WriteJUnit(w io.Writer, r *Report) error {
 	}
 	_, err := io.WriteString(w, "\n")
 	return err
+}
+
+// WriteJUnit renders one report as a standalone <testsuite> document.
+func WriteJUnit(w io.Writer, r *Report) error {
+	return encodeJUnit(w, buildJUnitSuite(r))
+}
+
+// WriteJUnitSuites renders a whole campaign as one JUnit document: a
+// <testsuites> root with one <testsuite> per report and aggregate
+// counts, which is what CI systems expect for a multi-script run.
+func WriteJUnitSuites(w io.Writer, reports []*Report) error {
+	var root junitSuites
+	for _, r := range reports {
+		s := buildJUnitSuite(r)
+		root.Tests += s.Tests
+		root.Failures += s.Failures
+		root.Errors += s.Errors
+		root.Skipped += s.Skipped
+		root.Time += s.Time
+		root.Suites = append(root.Suites, s)
+	}
+	return encodeJUnit(w, &root)
 }

@@ -55,6 +55,39 @@ func TestWriteJUnitFatal(t *testing.T) {
 	}
 }
 
+func TestWriteJUnitSuites(t *testing.T) {
+	second := sample()
+	second.Script = "Second"
+	second.Steps[1].Checks[0].Verdict = Skip
+	var b strings.Builder
+	if err := WriteJUnitSuites(&b, []*Report{sample(), second}); err != nil {
+		t.Fatal(err)
+	}
+	var root struct {
+		XMLName  xml.Name `xml:"testsuites"`
+		Tests    int      `xml:"tests,attr"`
+		Failures int      `xml:"failures,attr"`
+		Skipped  int      `xml:"skipped,attr"`
+		Time     float64  `xml:"time,attr"`
+		Suites   []struct {
+			Name string `xml:"name,attr"`
+		} `xml:"testsuite"`
+	}
+	if err := xml.Unmarshal([]byte(b.String()), &root); err != nil {
+		t.Fatalf("testsuites not parseable: %v\n%s", err, b.String())
+	}
+	if len(root.Suites) != 2 {
+		t.Fatalf("got %d suites, want 2", len(root.Suites))
+	}
+	// Aggregate counters are the sums of the per-suite counters.
+	if root.Tests != 4 || root.Failures != 1 || root.Skipped != 1 || root.Time != 561 {
+		t.Errorf("aggregate counters = %+v", root)
+	}
+	if root.Suites[1].Name != "Second on paper_stand" {
+		t.Errorf("second suite name = %q", root.Suites[1].Name)
+	}
+}
+
 func TestWriteJUnitSkip(t *testing.T) {
 	r := sample()
 	r.Steps[1].Checks[0].Verdict = Skip

@@ -1,0 +1,184 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Test-strength reporting for mutation campaigns (comptest/mutation):
+// one MutantOutcome per evaluated mutant, aggregated into kill scores
+// per DUT and per requirement, with surviving mutants explained by the
+// lint coverage findings that let them escape. The types are plain data
+// so the report layer stays independent of the mutation engine.
+
+// MutantOutcome is the verdict on one mutant.
+type MutantOutcome struct {
+	// ID is the stable mutant identifier (e.g. "fault/only_fl" or
+	// "script/InteriorIllumination/drop/step7").
+	ID string `json:"id"`
+	// Kind is "fault" (DUT model deviation) or "script" (workbook
+	// deviation).
+	Kind string `json:"kind"`
+	// Requirement attributes fault mutants to the requirement they
+	// violate (e.g. "R3"); empty for script mutants.
+	Requirement string `json:"requirement,omitempty"`
+	// Detail describes the deviation.
+	Detail string `json:"detail,omitempty"`
+	// Killed reports whether the suite detected the mutant.
+	Killed bool `json:"killed"`
+	// Witness is the first failing check that killed the mutant.
+	Witness string `json:"witness,omitempty"`
+	// Explanations cite the lint coverage findings that explain a
+	// survivor; empty when no finding matches the mutant's signals.
+	Explanations []string `json:"explanations,omitempty"`
+}
+
+// DUTStrength is the mutation result for one DUT model's suite.
+type DUTStrength struct {
+	DUT     string          `json:"dut"`
+	Stand   string          `json:"stand"`
+	Mutants []MutantOutcome `json:"mutants"`
+}
+
+// Strength is the complete test-strength report of a mutation campaign.
+type Strength struct {
+	DUTs []DUTStrength `json:"duts"`
+}
+
+// Score is a kill tally.
+type Score struct {
+	Killed int `json:"killed"`
+	Total  int `json:"total"`
+}
+
+// Add accumulates one outcome.
+func (s *Score) Add(killed bool) {
+	s.Total++
+	if killed {
+		s.Killed++
+	}
+}
+
+// String renders "killed/total (pct%)".
+func (s Score) String() string {
+	if s.Total == 0 {
+		return "0/0"
+	}
+	return fmt.Sprintf("%d/%d (%.1f%%)", s.Killed, s.Total,
+		100*float64(s.Killed)/float64(s.Total))
+}
+
+// Score tallies all mutants of the DUT.
+func (d *DUTStrength) Score() Score {
+	var s Score
+	for _, m := range d.Mutants {
+		s.Add(m.Killed)
+	}
+	return s
+}
+
+// ScoreKind tallies the mutants of one kind ("fault" or "script").
+func (d *DUTStrength) ScoreKind(kind string) Score {
+	var s Score
+	for _, m := range d.Mutants {
+		if m.Kind == kind {
+			s.Add(m.Killed)
+		}
+	}
+	return s
+}
+
+// RequirementScore is the kill score of one requirement.
+type RequirementScore struct {
+	Requirement string `json:"requirement"`
+	Score       Score  `json:"score"`
+}
+
+// ByRequirement tallies the fault mutants per violated requirement,
+// sorted by requirement — the paper-level answer to "which requirements
+// does the suite actually verify?".
+func (d *DUTStrength) ByRequirement() []RequirementScore {
+	acc := map[string]*Score{}
+	for _, m := range d.Mutants {
+		if m.Requirement == "" {
+			continue
+		}
+		s := acc[m.Requirement]
+		if s == nil {
+			s = &Score{}
+			acc[m.Requirement] = s
+		}
+		s.Add(m.Killed)
+	}
+	reqs := make([]string, 0, len(acc))
+	for r := range acc {
+		reqs = append(reqs, r)
+	}
+	sort.Strings(reqs)
+	out := make([]RequirementScore, len(reqs))
+	for i, r := range reqs {
+		out[i] = RequirementScore{Requirement: r, Score: *acc[r]}
+	}
+	return out
+}
+
+// Survivors returns the mutants the suite failed to kill.
+func (d *DUTStrength) Survivors() []MutantOutcome {
+	var out []MutantOutcome
+	for _, m := range d.Mutants {
+		if !m.Killed {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WriteStrengthText renders the strength report as an aligned,
+// human-readable listing: per-DUT scores, the kill matrix and the
+// survivor analysis with lint citations.
+func WriteStrengthText(w io.Writer, s *Strength) error {
+	var b strings.Builder
+	b.WriteString("Mutation test-strength report\n")
+	b.WriteString(strings.Repeat("=", 72) + "\n")
+	for i := range s.DUTs {
+		d := &s.DUTs[i]
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%s on %s: kill score %s  (faults %s, scripts %s)\n",
+			d.DUT, d.Stand, d.Score(), d.ScoreKind("fault"), d.ScoreKind("script"))
+		if reqs := d.ByRequirement(); len(reqs) > 0 {
+			b.WriteString("  by requirement:")
+			for _, r := range reqs {
+				fmt.Fprintf(&b, "  %s %s", r.Requirement, r.Score)
+			}
+			b.WriteString("\n")
+		}
+		for _, m := range d.Mutants {
+			verdict := "killed  "
+			if !m.Killed {
+				verdict = "SURVIVED"
+			}
+			fmt.Fprintf(&b, "  %s  %-44s %s\n", verdict, m.ID, m.Detail)
+			if m.Killed && m.Witness != "" {
+				fmt.Fprintf(&b, "            witness: %s\n", m.Witness)
+			}
+			for _, e := range m.Explanations {
+				fmt.Fprintf(&b, "            coverage gap: %s\n", e)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteStrengthJSON renders the strength report as indented JSON, for
+// dashboards and CI gates.
+func WriteStrengthJSON(w io.Writer, s *Strength) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(s)
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleStrength() *Strength {
+	return &Strength{DUTs: []DUTStrength{{
+		DUT: "interior_light", Stand: "paper_stand",
+		Mutants: []MutantOutcome{
+			{ID: "fault/stuck_off", Kind: "fault", Requirement: "R2",
+				Detail: "lamp never lights", Killed: true,
+				Witness: "step 4: int_ill get_u expected [8.4, 13.2], measured 0"},
+			{ID: "fault/only_fl", Kind: "fault", Requirement: "R2",
+				Detail: "only the front-left door switch is evaluated",
+				Explanations: []string{
+					`warning unstimulated-input: input signal "DS_RL" is never stimulated by any test`,
+				}},
+			{ID: "fault/no_timeout", Kind: "fault", Requirement: "R3",
+				Detail: "lamp never times out", Killed: true, Witness: "w"},
+			{ID: "script/widen/Ho", Kind: "script", Detail: "limits widened"},
+		},
+	}}}
+}
+
+func TestStrengthScores(t *testing.T) {
+	d := &sampleStrength().DUTs[0]
+	if s := d.Score(); s.Killed != 2 || s.Total != 4 {
+		t.Errorf("Score() = %s, want 2/4", s)
+	}
+	if s := d.ScoreKind("fault"); s.Killed != 2 || s.Total != 3 {
+		t.Errorf("ScoreKind(fault) = %s, want 2/3", s)
+	}
+	if s := d.ScoreKind("script"); s.Killed != 0 || s.Total != 1 {
+		t.Errorf("ScoreKind(script) = %s, want 0/1", s)
+	}
+	reqs := d.ByRequirement()
+	if len(reqs) != 2 || reqs[0].Requirement != "R2" || reqs[1].Requirement != "R3" {
+		t.Fatalf("ByRequirement() = %+v", reqs)
+	}
+	if reqs[0].Score.Killed != 1 || reqs[0].Score.Total != 2 {
+		t.Errorf("R2 score = %s, want 1/2", reqs[0].Score)
+	}
+	if got := d.Survivors(); len(got) != 2 {
+		t.Errorf("Survivors() returned %d, want 2", len(got))
+	}
+	if (Score{}).String() != "0/0" {
+		t.Errorf("empty score renders %q", Score{}.String())
+	}
+}
+
+func TestWriteStrengthText(t *testing.T) {
+	var b strings.Builder
+	if err := WriteStrengthText(&b, sampleStrength()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"interior_light on paper_stand: kill score 2/4 (50.0%)",
+		"by requirement:  R2 1/2 (50.0%)  R3 1/1 (100.0%)",
+		"SURVIVED  fault/only_fl",
+		"coverage gap: warning unstimulated-input",
+		"witness: step 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteStrengthJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteStrengthJSON(&b, sampleStrength()); err != nil {
+		t.Fatal(err)
+	}
+	var back Strength
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.DUTs) != 1 || len(back.DUTs[0].Mutants) != 4 {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+	if back.DUTs[0].Mutants[1].Explanations[0] == "" {
+		t.Error("explanations not serialised")
+	}
+}
