@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/comptest"
+	"repro/comptest/explore"
 	"repro/comptest/mutation"
 	"repro/internal/alloc"
 	"repro/internal/analog"
@@ -526,6 +527,51 @@ func BenchmarkMutationMatrix(b *testing.B) {
 					} else if w != s {
 						b.Fatalf("%s: kill score changed under parallelism: %s != %s", p.DUT, s, w)
 					}
+				}
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------ exploration --
+
+// BenchmarkExplore measures coverage-guided scenario exploration
+// throughput — generation + traced campaign execution + pinning +
+// oracle scoring + shrinking — for a fixed seed and budget at
+// increasing worker-pool bounds. The corpus fingerprint must not
+// depend on the bound (the exploration determinism guarantee);
+// parallel_1 is the sequential baseline.
+func BenchmarkExplore(b *testing.B) {
+	suite := mustSuite(b, paper.Workbook)
+	var want string
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel_%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex, err := explore.New(suite, explore.Options{
+					DUT:         "interior_light",
+					Seed:        1,
+					Budget:      16,
+					Parallelism: par,
+					Oracle:      []string{"only_fl"},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := ex.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Corpus.Len() == 0 {
+					b.Fatal("exploration produced an empty corpus")
+				}
+				fp, err := res.Corpus.Fingerprint()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want == "" {
+					want = fp
+				} else if fp != want {
+					b.Fatal("corpus changed under parallelism")
 				}
 			}
 		})

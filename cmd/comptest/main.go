@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	comptest gen    -workbook FILE [-test NAME] [-out DIR]
-//	comptest lint   -workbook FILE
-//	comptest run    -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit] [-junit FILE]
-//	comptest mutate [-workbook FILE] [-dut NAME] [-all] [-parallel N] [-format text|json]
-//	comptest reuse  -workbook FILE
+//	comptest gen     -workbook FILE [-test NAME] [-out DIR]
+//	comptest lint    -workbook FILE
+//	comptest run     -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit] [-junit FILE]
+//	comptest mutate  [-workbook FILE] [-dut NAME] [-all] [-parallel N] [-format text|json]
+//	comptest explore [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N] [-oracle LIST] [-promote FILE] [-format text|json]
+//	comptest reuse   -workbook FILE
 //	comptest tables
 //
 // Stands: paper_stand (Tables 3+4 + CAN adapter), full_lab, mini_bench,
@@ -26,9 +27,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/comptest"
+	"repro/comptest/explore"
 	"repro/comptest/mutation"
 	"repro/internal/knowledge"
 	"repro/internal/lint"
@@ -65,6 +68,8 @@ func run(args []string, out io.Writer) error {
 		return cmdRun(args[1:], out)
 	case "mutate":
 		return cmdMutate(args[1:], out)
+	case "explore":
+		return cmdExplore(args[1:], out)
 	case "reuse":
 		return cmdReuse(args[1:], out)
 	case "tables":
@@ -90,6 +95,9 @@ subcommands:
   run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit] [-junit FILE]
   mutate [-workbook FILE] [-dut NAME] [-stand NAME] [-all] [-parallel N] [-format text|json]
                                                    mutation kill matrix + test-strength report
+  explore [-workbook FILE] [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N]
+          [-oracle FAULTS|survivors] [-promote FILE] [-format text|json]
+                                                   coverage-guided scenario exploration
   reuse  [-workbook FILE]                          cross-stand reuse matrix
   tables                                           regenerate the paper's tables
   archive [-out FILE] [-origin NAME]               archive built-in suites as a knowledge base
@@ -376,6 +384,92 @@ func cmdMutate(args []string, out io.Writer) error {
 		return report.WriteStrengthJSON(out, &strength)
 	}
 	return report.WriteStrengthText(out, &strength)
+}
+
+// cmdExplore runs coverage-guided scenario exploration: seeded random
+// walks over the DUT's stimulus space, scored by behavioural coverage
+// and (optionally) by which surviving fault mutants they kill, shrunk
+// and promoted into workbook tests.
+func cmdExplore(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	workbook := fs.String("workbook", "", "workbook file (default: built-in workbook of the DUT)")
+	dutName := fs.String("dut", "interior_light", "DUT model to explore")
+	standName := fs.String("stand", "", "stand profile (default: the DUT's known-green stand)")
+	budget := fs.Int("budget", 32, "candidate walks to generate and execute")
+	seed := fs.Int64("seed", 1, "generator seed; identical seeds reproduce identical corpora")
+	parallel := fs.Int("parallel", 1, "run up to N executions concurrently")
+	oracle := fs.String("oracle", "", "comma-separated fault names used as kill oracles, or 'survivors' to target the suite's surviving fault mutants")
+	promote := fs.String("promote", "", "write the promoted workbook (suite + discovered scenarios) to FILE")
+	format := fs.String("format", "text", "report format: text or json")
+	minSteps := fs.Int("minsteps", 0, "minimum walk length (default 4)")
+	maxSteps := fs.Int("maxsteps", 0, "maximum walk length (default 24)")
+	durations := fs.String("durations", "", "comma-separated hold-duration pool in seconds (default 0.5,1,2,3,5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	var pool []float64
+	if *durations != "" {
+		for _, d := range strings.Split(*durations, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(d), 64)
+			if err != nil || f <= 0 {
+				return fmt.Errorf("explore: malformed duration %q", d)
+			}
+			pool = append(pool, f)
+		}
+	}
+	suite, _, err := loadWorkbook(*workbook, builtinFor(*dutName))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var faults []string
+	switch {
+	case *oracle == "survivors":
+		if faults, err = explore.SurvivingFaults(ctx, *dutName, *standName, suite, *parallel); err != nil {
+			return err
+		}
+	case *oracle != "":
+		for _, f := range strings.Split(*oracle, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				faults = append(faults, f)
+			}
+		}
+	}
+	ex, err := explore.New(suite, explore.Options{
+		DUT:         *dutName,
+		Stand:       *standName,
+		Seed:        *seed,
+		Budget:      *budget,
+		Parallelism: *parallel,
+		Oracle:      faults,
+		MinSteps:    *minSteps,
+		MaxSteps:    *maxSteps,
+		Durations:   pool,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := ex.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if *promote != "" {
+		wb, err := res.Workbook()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*promote, []byte(wb), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "promoted %d scenario(s) to %s\n", res.Corpus.Len(), *promote)
+	}
+	if *format == "json" {
+		return report.WriteExplorationJSON(out, res.Exploration())
+	}
+	return report.WriteExplorationText(out, res.Exploration())
 }
 
 func cmdReuse(args []string, out io.Writer) error {

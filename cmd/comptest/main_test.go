@@ -289,3 +289,58 @@ func TestMutateJSON(t *testing.T) {
 		t.Error("-all with -dut accepted; the single-target flag would be ignored")
 	}
 }
+
+func TestExplore(t *testing.T) {
+	out, err := runCLI(t, "explore", "-budget", "8", "-seed", "1", "-oracle", "only_fl")
+	if err != nil {
+		t.Fatalf("explore: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"Scenario exploration report",
+		"interior_light on paper_stand: seed 1, budget 8 candidates",
+		"coverage keys",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explore output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExploreJSONAndPromote(t *testing.T) {
+	promoted := filepath.Join(t.TempDir(), "promoted.csw")
+	out, err := runCLI(t, "explore", "-budget", "16", "-seed", "1",
+		"-oracle", "survivors", "-parallel", "2", "-format", "json", "-promote", promoted)
+	if err != nil {
+		t.Fatalf("explore json: %v\n%s", err, out)
+	}
+	for _, want := range []string{`"dut": "interior_light"`, `"seed": 1`, `"kills"`, "only_fl"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explore JSON lacks %q:\n%s", want, out)
+		}
+	}
+	// The promoted workbook must be a loadable suite that still carries
+	// the paper's original test plus the discovered scenarios.
+	b, err := os.ReadFile(promoted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "Test_InteriorIllumination") ||
+		!strings.Contains(string(b), "Test_Explore") {
+		t.Errorf("promoted workbook incomplete:\n%s", b)
+	}
+	if out, err := runCLI(t, "run", "-workbook", promoted); err != nil {
+		t.Errorf("promoted workbook does not run green: %v\n%s", err, out)
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	if _, err := runCLI(t, "explore", "-format", "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := runCLI(t, "explore", "-dut", "toaster"); err == nil {
+		t.Error("unknown DUT accepted")
+	}
+	if _, err := runCLI(t, "explore", "-oracle", "ghost_fault", "-budget", "1"); err == nil {
+		t.Error("unknown oracle fault accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/report"
 	"repro/internal/script"
+	"repro/internal/stand"
 )
 
 // Unit is one schedulable execution of a campaign: one script on one
@@ -21,6 +22,13 @@ type Unit struct {
 	// once per unit, so mutated models (see FaultedFactory) never share
 	// state across concurrent executions.
 	Factory DUTFactory
+	// Observer, when non-nil, is attached to this unit's stand and
+	// receives the behavioural trace of the execution (stand.Observer).
+	// Each unit needs its own observer instance: units run concurrently
+	// under WithParallelism, and observer callbacks are only serialised
+	// within one unit. The exploration engine (comptest/explore) records
+	// coverage through this field.
+	Observer stand.Observer
 }
 
 // Result is the outcome of one Unit, streamed to sinks as it completes.
@@ -213,6 +221,9 @@ func (r *Runner) runUnit(ctx context.Context, seq int, u Unit) Result {
 	if err != nil {
 		res.Err = err
 		return res
+	}
+	if u.Observer != nil {
+		st.SetObserver(u.Observer)
 	}
 	res.Report = st.RunContext(ctx, u.Script)
 	return res

@@ -34,7 +34,9 @@
 // exterior_light) are pre-registered. FaultedFactory builds mutated
 // instances of a registered model; the comptest/mutation subpackage
 // uses it to run full mutation-testing campaigns (mutant enumeration,
-// kill matrix, test-strength reports) on top of Campaign.
-//
-// The deprecated internal/core package is a thin shim over this package.
+// kill matrix, test-strength reports) on top of Campaign, and the
+// comptest/explore subpackage searches the stimulus space for
+// scenarios that kill the mutants mutation leaves alive — campaign
+// units carry an optional stand.Observer (Unit.Observer) through which
+// exploration records behavioural traces.
 package comptest

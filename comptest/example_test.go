@@ -1,17 +1,16 @@
-package core_test
+package comptest_test
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/ecu"
+	"repro/comptest"
 	"repro/internal/paper"
-	"repro/internal/stand"
 )
 
 // Example runs the complete paper pipeline: workbook → XML → stand → report.
 func Example() {
-	suite, err := core.LoadSuiteString(paper.Workbook)
+	suite, err := comptest.LoadSuiteString(paper.Workbook)
 	if err != nil {
 		panic(err)
 	}
@@ -19,11 +18,14 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	cfg, err := stand.PaperConfig(suite.Registry)
+	r, err := comptest.NewRunner(
+		comptest.WithStand("paper_stand"),
+		comptest.WithDUT("interior_light"),
+	)
 	if err != nil {
 		panic(err)
 	}
-	rep, err := core.Execute(sc, cfg, ecu.NewInteriorLight())
+	rep, err := r.RunScript(context.Background(), sc)
 	if err != nil {
 		panic(err)
 	}
@@ -35,7 +37,7 @@ func Example() {
 // ExampleSuite_GenerateScript shows the paper's central transformation:
 // the status table entry "Ho" becomes symbolic limit attributes.
 func ExampleSuite_GenerateScript() {
-	suite, _ := core.LoadSuiteString(paper.Workbook)
+	suite, _ := comptest.LoadSuiteString(paper.Workbook)
 	sc, _ := suite.GenerateScript("InteriorIllumination")
 	// Step 4 checks INT_ILL against status "Ho".
 	for _, st := range sc.Steps[4].Signals {

@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/script"
+)
+
+// Entry is one retained scenario: a shrunk walk, its promotion, the
+// coverage keys it contributed when it entered the corpus, and the
+// oracle faults it kills.
+type Entry struct {
+	// Name is the candidate name (Explore<seq>), stable per seed.
+	Name string
+	// GeneratedSteps is the walk length before shrinking.
+	GeneratedSteps int
+	// Promotion carries the shrunk test, its script and the status
+	// table it compiles against.
+	Promotion *Promotion
+	// NewKeys are the coverage keys this entry contributed (after
+	// shrinking).
+	NewKeys []string
+	// Kills lists the oracle fault names whose mutants the promoted
+	// script kills.
+	Kills []string
+}
+
+// Steps returns the entry's step count.
+func (e *Entry) Steps() int { return len(e.Promotion.Test.Steps) }
+
+// Duration returns the entry's nominal duration in seconds.
+func (e *Entry) Duration() float64 { return e.Promotion.Test.Duration() }
+
+// Corpus is the ordered set of retained scenarios. Entries appear in
+// discovery order, which is deterministic for a fixed seed.
+type Corpus struct {
+	Entries []*Entry
+}
+
+// Add appends an entry.
+func (c *Corpus) Add(e *Entry) { c.Entries = append(c.Entries, e) }
+
+// Len returns the number of entries.
+func (c *Corpus) Len() int { return len(c.Entries) }
+
+// Killers returns the entries that kill at least one oracle fault, in
+// discovery order.
+func (c *Corpus) Killers() []*Entry {
+	var out []*Entry
+	for _, e := range c.Entries {
+		if len(e.Kills) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Fingerprint serialises the corpus deterministically — entry names,
+// the exact XML of every promoted script, contributed keys and kills.
+// Two runs with the same seed and options must produce byte-identical
+// fingerprints; the determinism test pins this.
+func (c *Corpus) Fingerprint() (string, error) {
+	var b strings.Builder
+	for _, e := range c.Entries {
+		fmt.Fprintf(&b, "== %s steps=%d/%d dur=%.3fs\n", e.Name, e.Steps(), e.GeneratedSteps, e.Duration())
+		fmt.Fprintf(&b, "keys: %s\n", strings.Join(e.NewKeys, " "))
+		fmt.Fprintf(&b, "kills: %s\n", strings.Join(e.Kills, " "))
+		xml, err := script.EncodeString(e.Promotion.Script)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(xml)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,180 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/comptest"
+	"repro/internal/lint"
+	"repro/internal/sigdef"
+	"repro/internal/testdef"
+)
+
+// Generator synthesises candidate scenarios by seeded random walks over
+// the DUT's stimulus space: each step reassigns a weighted random
+// subset of the suite's input signals to a legal stimulus status and
+// holds the new state for a random duration. All randomness flows
+// through the injected *rand.Rand, so a seed reproduces the exact
+// candidate sequence (the repo-wide determinism rule).
+//
+// The walk is biased two ways:
+//
+//   - Reassignments always pick a status DIFFERENT from the signal's
+//     current one when an alternative exists, so every step is an
+//     input event rather than a no-op — random-walk exploration wants
+//     transitions, not states.
+//   - Signals named by the suite's lint coverage gaps (unstimulated
+//     inputs, never-toggled inputs — the findings that explain the
+//     surviving mutants of EXPERIMENTS.md C2) carry gapWeight instead
+//     of weight 1, steering the walk toward exactly the stimuli the
+//     hand-written tests never exercise.
+type Generator struct {
+	rng *rand.Rand
+
+	inputs  []*sigdef.Signal
+	legal   map[string][]string // lower signal name -> legal stimulus statuses, table order
+	weights []int               // parallel to inputs
+	total   int
+
+	durations []float64
+	minSteps  int
+	maxSteps  int
+	maxAssign int
+
+	seq int
+}
+
+// gapWeight is the selection weight of a coverage-gap signal relative
+// to the default weight 1.
+const gapWeight = 4
+
+// newGenerator builds the walk generator for a suite. Defaults: steps
+// uniform in [minSteps, maxSteps], durations drawn from the pool, every
+// input eligible.
+func newGenerator(suite *comptest.Suite, rng *rand.Rand, minSteps, maxSteps int, durations []float64) (*Generator, error) {
+	g := &Generator{
+		rng:       rng,
+		legal:     map[string][]string{},
+		durations: durations,
+		minSteps:  minSteps,
+		maxSteps:  maxSteps,
+	}
+	for _, sig := range suite.Signals.Inputs() {
+		var statuses []string
+		for _, name := range suite.Statuses.Names() {
+			st, _ := suite.Statuses.Lookup(name)
+			if !st.Desc.IsStimulus() {
+				continue
+			}
+			if sigdef.CheckAssignment(sig, name, suite.Statuses) != nil {
+				continue
+			}
+			// A bit payload must fit the CAN signal's length.
+			if _, width, err := st.BitsValue(); err == nil && sig.Length > 0 && width > sig.Length {
+				continue
+			}
+			statuses = append(statuses, name)
+		}
+		if len(statuses) == 0 {
+			continue // no legal stimulus: the walk cannot move this signal
+		}
+		g.inputs = append(g.inputs, sig)
+		g.legal[strings.ToLower(sig.Name)] = statuses
+	}
+	if len(g.inputs) == 0 {
+		return nil, fmt.Errorf("explore: suite has no stimulable input signals")
+	}
+	g.maxAssign = min(3, len(g.inputs))
+
+	gaps := lint.CoverageGaps(lint.Check(suite.Signals, suite.Statuses, suite.Tests))
+	g.weights = make([]int, len(g.inputs))
+	for i, sig := range g.inputs {
+		g.weights[i] = 1
+		for _, f := range gaps {
+			if f.Mentions(sig.Name) {
+				g.weights[i] = gapWeight
+				break
+			}
+		}
+		g.total += g.weights[i]
+	}
+	return g, nil
+}
+
+// Next synthesises the next candidate walk as a stimulus-only test
+// case. Step indices run 0..n-1, every step carries at least one
+// assignment, and the set of signal columns is the set of signals the
+// walk actually touches (first-use order).
+func (g *Generator) Next() *testdef.TestCase {
+	n := g.minSteps + g.rng.Intn(g.maxSteps-g.minSteps+1)
+
+	// current status per signal, seeded from the init column so the
+	// "pick a different status" rule measures change against the state
+	// the DUT actually starts in.
+	cur := map[string]string{}
+	for _, sig := range g.inputs {
+		cur[strings.ToLower(sig.Name)] = sig.Init
+	}
+
+	tc := &testdef.TestCase{Name: fmt.Sprintf("Explore%04d", g.seq)}
+	g.seq++
+	seenCol := map[string]bool{}
+	for i := 0; i < n; i++ {
+		step := testdef.Step{
+			Index: i,
+			Dt:    g.durations[g.rng.Intn(len(g.durations))],
+		}
+		for _, sig := range g.pick(1 + g.rng.Intn(g.maxAssign)) {
+			key := strings.ToLower(sig.Name)
+			status := g.nextStatus(key, cur[key])
+			cur[key] = status
+			step.Assign = append(step.Assign, testdef.Assignment{Signal: sig.Name, Status: status})
+			if !seenCol[key] {
+				seenCol[key] = true
+				tc.Signals = append(tc.Signals, sig.Name)
+			}
+		}
+		tc.Steps = append(tc.Steps, step)
+	}
+	return tc
+}
+
+// pick draws k distinct inputs, weighted, without replacement.
+func (g *Generator) pick(k int) []*sigdef.Signal {
+	idx := make([]int, len(g.inputs))
+	for i := range idx {
+		idx[i] = i
+	}
+	total := g.total
+	var out []*sigdef.Signal
+	for len(out) < k && len(idx) > 0 {
+		r := g.rng.Intn(total)
+		for j, i := range idx {
+			r -= g.weights[i]
+			if r < 0 {
+				out = append(out, g.inputs[i])
+				total -= g.weights[i]
+				idx = append(idx[:j], idx[j+1:]...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// nextStatus picks a legal status for the signal, different from the
+// current one whenever an alternative exists.
+func (g *Generator) nextStatus(key, current string) string {
+	statuses := g.legal[key]
+	var alts []string
+	for _, s := range statuses {
+		if !strings.EqualFold(s, current) {
+			alts = append(alts, s)
+		}
+	}
+	if len(alts) == 0 {
+		return statuses[0]
+	}
+	return alts[g.rng.Intn(len(alts))]
+}

@@ -1,0 +1,56 @@
+package explore
+
+import (
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/script"
+	"repro/internal/stand"
+)
+
+// Sample is one trace observation: the DUT output levels at one point
+// in simulated time. Step is -1 for the post-init settle sample, the
+// step number otherwise.
+type Sample struct {
+	Now     time.Duration
+	Step    int
+	Outputs []stand.OutputState
+}
+
+// Trace records the behavioural trace of one execution through the
+// stand.Observer hook: every periodic output sample plus the settled
+// state at the end of each step. One Trace instance belongs to exactly
+// one campaign unit (stand callbacks are serialised per unit), and is
+// read only after the campaign delivered the unit's result.
+type Trace struct {
+	Ubatt   float64
+	Samples []Sample
+	stepEnd map[int][]stand.OutputState
+}
+
+var _ stand.Observer = (*Trace)(nil)
+
+// RunStarted implements stand.Observer.
+func (t *Trace) RunStarted(sc *script.Script, ubattVolts float64) {
+	t.Ubatt = ubattVolts
+	t.Samples = t.Samples[:0]
+	t.stepEnd = map[int][]stand.OutputState{}
+}
+
+// OutputsSampled implements stand.Observer.
+func (t *Trace) OutputsSampled(now time.Duration, step int, outputs []stand.OutputState) {
+	t.Samples = append(t.Samples, Sample{Now: now, Step: step, Outputs: outputs})
+}
+
+// StepFinished implements stand.Observer.
+func (t *Trace) StepFinished(step *script.Step, now time.Duration, outputs []stand.OutputState) {
+	t.Samples = append(t.Samples, Sample{Now: now, Step: step.Nr, Outputs: outputs})
+	t.stepEnd[step.Nr] = outputs
+}
+
+// RunFinished implements stand.Observer.
+func (t *Trace) RunFinished(rep *report.Report) {}
+
+// StepEnd returns the settled output levels at the end of the numbered
+// step, or nil when the step never finished.
+func (t *Trace) StepEnd(nr int) []stand.OutputState { return t.stepEnd[nr] }

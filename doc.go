@@ -7,8 +7,11 @@
 // options, stand/DUT registries, concurrent campaigns — see README.md
 // for a quickstart), with the mutation-testing subsystem in
 // comptest/mutation (mutant enumeration, kill-matrix campaigns,
-// test-strength reports). The building blocks live under internal/,
-// the command line tool under cmd/comptest, runnable examples under
+// test-strength reports) and coverage-guided scenario exploration in
+// comptest/explore (seeded random-walk generation, behavioural
+// coverage, shrinking, promotion of discovered scenarios into
+// workbook tests). The building blocks live under internal/, the
+// command line tool under cmd/comptest, runnable examples under
 // examples/, and bench_test.go regenerates every table and figure of
 // the paper.
 package repro

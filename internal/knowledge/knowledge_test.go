@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/core"
+	"repro/comptest"
 	"repro/internal/method"
 	"repro/internal/paper"
 	"repro/internal/resource"
@@ -16,7 +16,7 @@ import (
 
 func paperScript(t *testing.T) *script.Script {
 	t.Helper()
-	suite, err := core.LoadSuiteString(paper.Workbook)
+	suite, err := comptest.LoadSuiteString(paper.Workbook)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func seeded(t *testing.T) *Base {
 		BugRefs: []string{"FB-4711"}, Script: sc}); err != nil {
 		t.Fatal(err)
 	}
-	suite, err := core.LoadSuiteString(workbooks.CentralLocking)
+	suite, err := comptest.LoadSuiteString(workbooks.CentralLocking)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,14 +4,14 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/core"
+	"repro/comptest"
 	"repro/internal/paper"
 	"repro/internal/workbooks"
 )
 
 func findings(t *testing.T, workbook string) []Finding {
 	t.Helper()
-	suite, err := core.LoadSuiteString(workbook)
+	suite, err := comptest.LoadSuiteString(workbook)
 	if err != nil {
 		t.Fatal(err)
 	}

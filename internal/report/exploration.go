@@ -1,0 +1,88 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exploration reporting for coverage-guided scenario exploration
+// (comptest/explore): the run parameters, the execution and coverage
+// tallies, and one entry per retained corpus scenario. Like the
+// strength report, the types are plain data so the report layer stays
+// independent of the exploration engine.
+
+// ExplorationEntry is one retained scenario.
+type ExplorationEntry struct {
+	// Name is the candidate name (stable per seed).
+	Name string `json:"name"`
+	// Steps and DurationS describe the shrunk walk; GeneratedSteps is
+	// the length before shrinking.
+	Steps          int     `json:"steps"`
+	GeneratedSteps int     `json:"generated_steps"`
+	DurationS      float64 `json:"duration_s"`
+	// NewKeys are the coverage keys the scenario contributed.
+	NewKeys []string `json:"new_keys"`
+	// Kills lists the oracle faults the promoted scenario kills.
+	Kills []string `json:"kills,omitempty"`
+}
+
+// Exploration is the complete record of one exploration run.
+type Exploration struct {
+	DUT   string `json:"dut"`
+	Stand string `json:"stand"`
+	Seed  int64  `json:"seed"`
+	// Budget is the candidate budget, Candidates the walks executed,
+	// Executions every stand run (candidates + verification + oracle +
+	// shrinking).
+	Budget     int `json:"budget"`
+	Candidates int `json:"candidates"`
+	Executions int `json:"executions"`
+	// CoverageKeys is the size of the final behavioural coverage set.
+	CoverageKeys int                `json:"coverage_keys"`
+	Entries      []ExplorationEntry `json:"entries"`
+}
+
+// Killers returns the entries that kill at least one oracle fault.
+func (x *Exploration) Killers() []ExplorationEntry {
+	var out []ExplorationEntry
+	for _, e := range x.Entries {
+		if len(e.Kills) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteExplorationText renders the exploration report as an aligned,
+// human-readable listing.
+func WriteExplorationText(w io.Writer, x *Exploration) error {
+	var b strings.Builder
+	b.WriteString("Scenario exploration report\n")
+	b.WriteString(strings.Repeat("=", 72) + "\n")
+	fmt.Fprintf(&b, "%s on %s: seed %d, budget %d candidates\n", x.DUT, x.Stand, x.Seed, x.Budget)
+	fmt.Fprintf(&b, "executed %d candidates (%d stand runs total), %d coverage keys, corpus %d\n",
+		x.Candidates, x.Executions, x.CoverageKeys, len(x.Entries))
+	for _, e := range x.Entries {
+		fmt.Fprintf(&b, "  %-14s %2d steps (shrunk from %2d)  %7.1fs  +%d keys",
+			e.Name, e.Steps, e.GeneratedSteps, e.DurationS, len(e.NewKeys))
+		if len(e.Kills) > 0 {
+			fmt.Fprintf(&b, "  KILLS %s", strings.Join(e.Kills, ","))
+		}
+		b.WriteString("\n")
+	}
+	if k := x.Killers(); len(k) > 0 {
+		fmt.Fprintf(&b, "%d scenario(s) kill previously surviving mutants — promote them into the workbook\n", len(k))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteExplorationJSON renders the exploration report as indented
+// JSON, for dashboards and CI gates.
+func WriteExplorationJSON(w io.Writer, x *Exploration) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(x)
+}

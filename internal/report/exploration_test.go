@@ -1,0 +1,65 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleExploration() *Exploration {
+	return &Exploration{
+		DUT: "interior_light", Stand: "paper_stand", Seed: 1,
+		Budget: 16, Candidates: 16, Executions: 120, CoverageKeys: 23,
+		Entries: []ExplorationEntry{
+			{Name: "Explore0000", Steps: 5, GeneratedSteps: 9, DurationS: 7.5,
+				NewKeys: []string{"stim/ds_rl=open", "trans/int_ill:lo->hi"}},
+			{Name: "Explore0004", Steps: 2, GeneratedSteps: 6, DurationS: 1.5,
+				NewKeys: []string{"duty/int_ill:1s"}, Kills: []string{"only_fl"}},
+		},
+	}
+}
+
+func TestWriteExplorationText(t *testing.T) {
+	var b strings.Builder
+	if err := WriteExplorationText(&b, sampleExploration()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"interior_light on paper_stand: seed 1, budget 16 candidates",
+		"executed 16 candidates (120 stand runs total), 23 coverage keys, corpus 2",
+		"Explore0000     5 steps (shrunk from  9)",
+		"KILLS only_fl",
+		"1 scenario(s) kill previously surviving mutants",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteExplorationJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteExplorationJSON(&b, sampleExploration()); err != nil {
+		t.Fatal(err)
+	}
+	var back Exploration
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if back.DUT != "interior_light" || len(back.Entries) != 2 ||
+		back.Entries[1].Kills[0] != "only_fl" || back.Entries[0].GeneratedSteps != 9 {
+		t.Errorf("round-tripped report wrong: %+v", back)
+	}
+}
+
+func TestExplorationKillers(t *testing.T) {
+	x := sampleExploration()
+	k := x.Killers()
+	if len(k) != 1 || k[0].Name != "Explore0004" {
+		t.Errorf("Killers = %+v", k)
+	}
+	if empty := (&Exploration{}).Killers(); empty != nil {
+		t.Errorf("empty Killers = %v", empty)
+	}
+}

@@ -78,6 +78,9 @@ type Stand struct {
 	dut    ecu.ECU
 	ticker *ecu.Ticker
 
+	// obs, when non-nil, receives the behavioural trace (see trace.go).
+	obs Observer
+
 	// held maps lower signal name → persistent stimulus state.
 	held map[string]*heldStimulus
 
@@ -317,6 +320,10 @@ func (s *Stand) RunContext(ctx context.Context, sc *script.Script) *report.Repor
 		return rep
 	}
 	s.resetRun()
+	if s.obs != nil {
+		s.obs.RunStarted(sc, s.cfg.UbattVolts)
+		defer func() { s.obs.RunFinished(rep) }()
+	}
 
 	// Init block: apply all initial stimuli at once, then settle.
 	if len(sc.Init) > 0 {
@@ -326,6 +333,9 @@ func (s *Stand) RunContext(ctx context.Context, sc *script.Script) *report.Repor
 		}
 	}
 	s.sched.Advance(s.cfg.SettleTime)
+	if s.obs != nil {
+		s.obs.OutputsSampled(s.sched.Now(), -1, s.observeOutputs(sc))
+	}
 
 	for i, step := range sc.Steps {
 		if err := ctx.Err(); err != nil {
@@ -413,11 +423,16 @@ func (s *Stand) runStep(sc *script.Script, step *script.Step) report.StepResult 
 		samplers = s.startSamplers(measures, plan)
 	}
 
+	stopTrace := s.startTrace(sc, step)
 	dt := step.Dt + extraWait
 	s.sched.Advance(time.Duration(dt * float64(time.Second)))
+	stopTrace()
 
 	for _, sam := range samplers {
 		sam.stop()
+	}
+	if s.obs != nil {
+		s.obs.StepFinished(step, s.sched.Now(), s.observeOutputs(sc))
 	}
 
 	if allocErr != nil {
