@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchFixture = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some CPU
+BenchmarkCampaignMatrix/parallel_1-8         	       3	   3000000 ns/op	  500000 B/op	    1000 allocs/op
+BenchmarkCampaignMatrix/parallel_1-8         	       3	   1000000 ns/op	  300000 B/op	    1000 allocs/op
+BenchmarkScriptGen-8                         	       3	     50000 ns/op
+not a benchmark line
+BenchmarkBroken-8                            	   garbage
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseAveragesRepeatedRuns(t *testing.T) {
+	doc, err := Parse(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	// The GOMAXPROCS "-8" suffix is stripped so baselines from a 1-CPU
+	// container and multi-core CI runners key identically.
+	m := doc.Benchmarks["BenchmarkCampaignMatrix/parallel_1"]
+	if m == nil {
+		t.Fatal("campaign benchmark missing")
+	}
+	if m.NsPerOp != 2000000 || m.BytesPerOp != 400000 || m.AllocsPerOp != 1000 || m.Runs != 2 {
+		t.Errorf("averaging wrong: %+v", m)
+	}
+	g := doc.Benchmarks["BenchmarkScriptGen"]
+	if g == nil || g.NsPerOp != 50000 || g.Runs != 1 || g.BytesPerOp != 0 {
+		t.Errorf("no-benchmem line wrong: %+v", g)
+	}
+}
+
+func TestParseNormalizesGOMAXPROCSSuffix(t *testing.T) {
+	// The same benchmark from a suffix-free 1-CPU run and a suffixed
+	// multi-core run must merge under one name.
+	doc, err := Parse(strings.NewReader(
+		"BenchmarkX 3 100 ns/op\nBenchmarkX-4 3 300 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.Benchmarks["BenchmarkX"]
+	if len(doc.Benchmarks) != 1 || m == nil || m.NsPerOp != 200 || m.Runs != 2 {
+		t.Errorf("suffix normalization wrong: %+v", doc.Benchmarks)
+	}
+}
+
+func TestConvertToFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(benchFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH.json")
+	var stdout strings.Builder
+	if err := run([]string{"-o", out, in}, nil, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Errorf("file document wrong: %s", data)
+	}
+}
+
+func TestConvertStdin(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(benchFixture), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"ns_per_op": 2000000`) {
+		t.Errorf("stdout JSON wrong:\n%s", out.String())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	old := write("old.json", `{"benchmarks":{
+		"BenchmarkA-8":{"ns_per_op":1000,"runs":3},
+		"BenchmarkGone-8":{"ns_per_op":5,"runs":3}}}`)
+	new_ := write("new.json", `{"benchmarks":{
+		"BenchmarkA-8":{"ns_per_op":1500,"runs":3},
+		"BenchmarkNew-8":{"ns_per_op":7,"runs":3}}}`)
+
+	var out strings.Builder
+	// Report-only: a 50% regression must not produce an error.
+	if err := run([]string{"-compare", old, new_}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"+50.0%", "BenchmarkNew-8", "new", "BenchmarkGone-8", "vanished"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("no benchmarks here"), &out); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run([]string{"-compare", "/no/such.json"}, nil, &out); err == nil {
+		t.Error("-compare without NEW accepted")
+	}
+	if err := run([]string{"-compare", "/no/such.json", "/also/missing.json"}, nil, &out); err == nil {
+		t.Error("missing compare files accepted")
+	}
+	if err := run([]string{"a.txt", "b.txt"}, nil, &out); err == nil {
+		t.Error("two input files accepted")
+	}
+}

@@ -7,9 +7,10 @@
 //
 //	comptest gen     -workbook FILE [-test NAME] [-out DIR]
 //	comptest lint    -workbook FILE
-//	comptest run     -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit] [-junit FILE]
+//	comptest run     -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE]
 //	comptest mutate  [-workbook FILE] [-dut NAME] [-all] [-parallel N] [-format text|json]
 //	comptest explore [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N] [-oracle LIST] [-promote FILE] [-format text|json]
+//	comptest serve   [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N]
 //	comptest reuse   -workbook FILE
 //	comptest tables
 //
@@ -22,17 +23,24 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/comptest"
 	"repro/comptest/explore"
 	"repro/comptest/mutation"
+	"repro/comptest/serve"
 	"repro/internal/knowledge"
 	"repro/internal/lint"
 	"repro/internal/method"
@@ -46,12 +54,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with the process surface made testable: any error —
+// including an unknown subcommand, so CI smoke steps can never pass on
+// a typo — exits 1.
+func realMain(args []string, out, errw io.Writer) int {
+	if err := run(args, out); err != nil {
 		// Library errors already carry the "comptest:" package prefix;
 		// avoid printing it twice.
-		fmt.Fprintln(os.Stderr, "comptest:", strings.TrimPrefix(err.Error(), "comptest: "))
-		os.Exit(1)
+		fmt.Fprintln(errw, "comptest:", strings.TrimPrefix(err.Error(), "comptest: "))
+		return 1
 	}
+	return 0
 }
 
 func run(args []string, out io.Writer) error {
@@ -70,6 +86,8 @@ func run(args []string, out io.Writer) error {
 		return cmdMutate(args[1:], out)
 	case "explore":
 		return cmdExplore(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
 	case "reuse":
 		return cmdReuse(args[1:], out)
 	case "tables":
@@ -92,12 +110,14 @@ func usage(out io.Writer) {
 subcommands:
   gen    -workbook FILE [-test NAME] [-out DIR]    generate XML test scripts
   lint   -workbook FILE                            validate a workbook
-  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit] [-junit FILE]
+  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE]
   mutate [-workbook FILE] [-dut NAME] [-stand NAME] [-all] [-parallel N] [-format text|json]
                                                    mutation kill matrix + test-strength report
   explore [-workbook FILE] [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N]
           [-oracle FAULTS|survivors] [-promote FILE] [-format text|json]
                                                    coverage-guided scenario exploration
+  serve  [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N]
+                                                   campaign-execution service (HTTP JSON job API)
   reuse  [-workbook FILE]                          cross-stand reuse matrix
   tables                                           regenerate the paper's tables
   archive [-out FILE] [-origin NAME]               archive built-in suites as a knowledge base
@@ -215,6 +235,8 @@ func reportWriter(format string) (func(io.Writer, *report.Report) error, error) 
 		return report.WriteXML, nil
 	case "junit":
 		return report.WriteJUnit, nil
+	case "ndjson":
+		return report.WriteJSON, nil
 	}
 	return nil, fmt.Errorf("unknown format %q", format)
 }
@@ -226,7 +248,7 @@ func cmdRun(args []string, out io.Writer) error {
 	dutName := fs.String("dut", "interior_light", "DUT model")
 	fault := fs.String("fault", "", "inject a named fault into the DUT")
 	parallel := fs.Int("parallel", 1, "run up to N scripts concurrently, each on its own stand instance")
-	format := fs.String("format", "text", "report format: text, csv, xml or junit")
+	format := fs.String("format", "text", "report format: text, csv, xml, junit or ndjson")
 	junitPath := fs.String("junit", "", "also write the campaign as one JUnit <testsuites> file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -470,6 +492,72 @@ func cmdExplore(args []string, out io.Writer) error {
 		return report.WriteExplorationJSON(out, res.Exploration())
 	}
 	return report.WriteExplorationText(out, res.Exploration())
+}
+
+// Test seams for cmdServe: production blocks until SIGINT/SIGTERM;
+// tests override the context to drive shutdown and observe the bound
+// address without signals or sleeps.
+var (
+	serveCtx   context.Context   // nil = signal.NotifyContext
+	serveReady func(addr string) // called once the listener is bound
+)
+
+// cmdServe runs the campaign-execution service: a bounded job queue +
+// worker pool behind an HTTP JSON API (see comptest/serve). It blocks
+// until interrupted, then shuts down gracefully — in-flight jobs are
+// cancelled through their contexts, so running scripts stop at the
+// next step boundary with the remaining checks SKIPped.
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8833", "listen address (use :0 for an ephemeral port)")
+	workers := fs.Int("workers", 2, "jobs executed concurrently")
+	queue := fs.Int("queue", 16, "bounded queue depth; a full queue rejects jobs with 503")
+	parallel := fs.Int("parallel", 1, "default per-job worker-pool bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := serve.New(serve.Options{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultParallelism: *parallel,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "comptest serve: listening on http://%s (%d workers, queue %d)\n",
+		ln.Addr(), *workers, *queue)
+	if serveReady != nil {
+		serveReady(ln.Addr().String())
+	}
+
+	ctx := serveCtx
+	if ctx == nil {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(out, "comptest serve: shutting down")
+		// Cancel the jobs FIRST: that closes every result log, so
+		// attached streams end cleanly at a terminal state instead of
+		// pinning Shutdown to its timeout and being severed mid-line.
+		srv.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
 }
 
 func cmdReuse(args []string, out io.Writer) error {

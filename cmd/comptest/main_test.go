@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/paper"
+	"repro/internal/report"
 )
 
 func runCLI(t *testing.T, args ...string) (string, error) {
@@ -342,5 +347,128 @@ func TestExploreErrors(t *testing.T) {
 	}
 	if _, err := runCLI(t, "explore", "-oracle", "ghost_fault", "-budget", "1"); err == nil {
 		t.Error("unknown oracle fault accepted")
+	}
+}
+
+// TestExitCodes pins the process surface: an unknown subcommand (or
+// any other error) must exit 1 — a CI smoke step invoking a typo'd
+// subcommand may never silently pass — and help must exit 0.
+func TestExitCodes(t *testing.T) {
+	var out, errw strings.Builder
+	if code := realMain([]string{"frobnicate"}, &out, &errw); code != 1 {
+		t.Errorf("unknown subcommand: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), `unknown subcommand "frobnicate"`) {
+		t.Errorf("stderr: %q", errw.String())
+	}
+	if !strings.Contains(out.String(), "subcommands") {
+		t.Error("usage not printed on unknown subcommand")
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := realMain([]string{"help"}, &out, &errw); code != 0 || errw.Len() != 0 {
+		t.Errorf("help: exit %d, stderr %q", code, errw.String())
+	}
+	if code := realMain(nil, &out, &errw); code != 1 {
+		t.Errorf("no args: exit %d, want 1", code)
+	}
+	if code := realMain([]string{"run", "-fault", "stuck_off"}, io.Discard, io.Discard); code != 1 {
+		t.Errorf("failing campaign: exit %d, want 1", code)
+	}
+}
+
+// TestRunNDJSON streams a campaign as NDJSON and decodes it back.
+func TestRunNDJSON(t *testing.T) {
+	out, err := runCLI(t, "run", "-format", "ndjson")
+	if err != nil {
+		t.Fatalf("run -format ndjson: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d NDJSON lines, want 1:\n%s", len(lines), out)
+	}
+	rep, err := report.DecodeJSON([]byte(lines[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Script != "InteriorIllumination" || !rep.Passed() {
+		t.Errorf("decoded report wrong: %s", rep.Summary())
+	}
+}
+
+// TestServeEndToEnd drives the serve subcommand in-process: submit a
+// campaign job over HTTP, stream its NDJSON report, check the verdict,
+// then shut the server down through the (test-seamed) signal context.
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrs := make(chan string, 1)
+	serveCtx, serveReady = ctx, func(a string) { addrs <- a }
+	defer func() { serveCtx, serveReady = nil, nil }()
+
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-workers", "1"}, io.Discard) }()
+	base := "http://" + <-addrs
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"campaign"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || status.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, status)
+	}
+
+	// The stream ends exactly when the job reaches a terminal state.
+	resp, err = http.Get(base + "/v1/jobs/" + status.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("streamed %d lines, want 1:\n%s", len(lines), body)
+	}
+	rep, err := report.DecodeJSON([]byte(lines[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Errorf("streamed report not green: %s", rep.Summary())
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{`"state": "done"`, `"verdict": "green"`} {
+		if !strings.Contains(string(final), want) {
+			t.Errorf("final status lacks %s:\n%s", want, final)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve shutdown: %v", err)
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	if _, err := runCLI(t, "serve", "-addr", "not an address"); err == nil {
+		t.Error("bad listen address accepted")
 	}
 }

@@ -39,4 +39,10 @@
 // scenarios that kill the mutants mutation leaves alive — campaign
 // units carry an optional stand.Observer (Unit.Observer) through which
 // exploration records behavioural traces.
+//
+// Results stream to pluggable sinks (Sink, SinkFunc, Collector,
+// Ordered); NDJSON writes each result as one report.Report JSON line,
+// the wire format of the comptest/serve campaign-execution service —
+// a long-lived HTTP job API that runs campaigns, mutation matrices
+// and exploration as queued jobs with live report streaming.
 package comptest

@@ -82,6 +82,11 @@ type Options struct {
 	// ShrinkBudget caps the stand executions spent shrinking one corpus
 	// entry (default 48, negative disables shrinking).
 	ShrinkBudget int
+	// Sink, when non-nil, additionally receives every stand execution's
+	// result as it completes — candidate walks, pinned verification,
+	// oracle scoring and shrink probes alike. The campaign service
+	// streams live NDJSON through this.
+	Sink comptest.Sink
 }
 
 // withDefaults resolves the zero values.
@@ -294,11 +299,15 @@ type candidate struct {
 // Every completed run counts toward Executions.
 func (e *Explorer) campaign(ctx context.Context, units []comptest.Unit) ([]*report.Report, error) {
 	collector := &comptest.Collector{}
-	runner, err := comptest.NewRunner(
+	ropts := []comptest.Option{
 		comptest.WithStand(e.opts.Stand),
 		comptest.WithParallelism(e.opts.Parallelism),
 		comptest.WithSink(collector),
-	)
+	}
+	if e.opts.Sink != nil {
+		ropts = append(ropts, comptest.WithSink(e.opts.Sink))
+	}
+	runner, err := comptest.NewRunner(ropts...)
 	if err != nil {
 		return nil, err
 	}

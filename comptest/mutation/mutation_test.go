@@ -250,3 +250,40 @@ func TestEnumerateBuiltin(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStreamsToSink: Options.Sink receives every unit result of the
+// kill matrix — baseline and mutant runs alike — as it completes. This
+// is the hook the campaign service streams live NDJSON through.
+func TestRunStreamsToSink(t *testing.T) {
+	plan := paperPlan(t)
+	// Two fault mutants keep the streamed matrix small and fast.
+	var faults []Mutant
+	for _, m := range plan.Mutants {
+		if m.Kind == FaultMutant {
+			faults = append(faults, m)
+		}
+		if len(faults) == 2 {
+			break
+		}
+	}
+	plan.Mutants = faults
+	sink := &comptest.Collector{}
+	mat, err := Run(context.Background(), plan, Options{Parallelism: 2, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutantRuns := 0
+	for _, o := range mat.Outcomes {
+		mutantRuns += o.Runs
+	}
+	results := sink.Results()
+	if want := len(plan.Baseline) + mutantRuns; len(results) != want {
+		t.Errorf("sink saw %d results, want %d (baseline %d + mutant runs %d)",
+			len(results), want, len(plan.Baseline), mutantRuns)
+	}
+	for _, res := range results {
+		if res.Err != nil || res.Report == nil {
+			t.Errorf("streamed result without report: %+v", res)
+		}
+	}
+}

@@ -39,6 +39,10 @@ type Matrix struct {
 type Options struct {
 	// Parallelism bounds the campaign worker pool (default 1).
 	Parallelism int
+	// Sink, when non-nil, additionally receives every unit result as it
+	// completes — baseline runs and mutant runs alike, in completion
+	// order. The campaign service streams live NDJSON through this.
+	Sink comptest.Sink
 }
 
 // Run executes the plan's full kill matrix: the clean baseline plus
@@ -68,11 +72,15 @@ func Run(ctx context.Context, plan *Plan, opts Options) (*Matrix, error) {
 	}
 
 	collector := &comptest.Collector{}
-	r, err := comptest.NewRunner(
+	ropts := []comptest.Option{
 		comptest.WithStand(plan.Stand),
 		comptest.WithParallelism(par),
 		comptest.WithSink(collector),
-	)
+	}
+	if opts.Sink != nil {
+		ropts = append(ropts, comptest.WithSink(opts.Sink))
+	}
+	r, err := comptest.NewRunner(ropts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"repro/comptest"
+	"repro/internal/script"
+)
+
+// Artifact is one cached unit of parse+generate work: the
+// cross-validated suite of a workbook and its generated scripts.
+// Artifacts are shared read-only across concurrent jobs; nothing in
+// the execution path below mutates them (stands and DUTs are built
+// fresh per unit, mutation clones artefacts before transforming).
+type Artifact struct {
+	// Key is the hex SHA-256 of the workbook bytes.
+	Key     string
+	Suite   *comptest.Suite
+	Scripts []*script.Script
+}
+
+// Cache is the content-addressed artifact cache of the service:
+// workbook bytes hash to the parsed suite and generated scripts, so
+// repeated submissions of the same workbook skip both on the hot
+// path. Lookups are single-flight: concurrent submissions of the same
+// new workbook parse it exactly once, later arrivals block on the
+// first parse. Parse failures are cached too — the mapping from bytes
+// to outcome is deterministic, so re-parsing a known-bad workbook
+// would only burn CPU.
+//
+// The cache is bounded: beyond cap distinct workbooks, the oldest
+// entry is evicted (FIFO), so a stream of unique submissions cannot
+// grow a long-lived server without bound. An evicted in-flight entry
+// still completes for the loads already waiting on it; later loads of
+// those bytes simply re-parse.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[[sha256.Size]byte]*cacheEntry
+	order   [][sha256.Size]byte // insertion order, for FIFO eviction
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when art/err are set
+	art   *Artifact
+	err   error
+}
+
+// DefaultCacheCap bounds NewCache to this many distinct workbooks.
+const DefaultCacheCap = 256
+
+// NewCache builds an empty cache holding up to DefaultCacheCap
+// distinct workbooks.
+func NewCache() *Cache { return NewCacheCap(DefaultCacheCap) }
+
+// NewCacheCap builds an empty cache holding up to cap distinct
+// workbooks (minimum 1).
+func NewCacheCap(cap int) *Cache {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Cache{cap: cap, entries: map[[sha256.Size]byte]*cacheEntry{}}
+}
+
+// Load returns the artifact for the workbook bytes, parsing and
+// generating scripts only on the first call per content hash.
+func (c *Cache) Load(workbook []byte) (*Artifact, error) {
+	key := sha256.Sum256(workbook)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		if len(c.order) > c.cap {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+
+	if ok {
+		<-e.ready
+		c.hits.Add(1)
+		return e.art, e.err
+	}
+
+	c.misses.Add(1)
+	suite, err := comptest.LoadSuiteString(string(workbook))
+	if err == nil {
+		var scripts []*script.Script
+		if scripts, err = suite.GenerateScripts(); err == nil {
+			e.art = &Artifact{Key: hex.EncodeToString(key[:]), Suite: suite, Scripts: scripts}
+		}
+	}
+	e.err = err
+	close(e.ready)
+	return e.art, e.err
+}
+
+// Hits returns the number of Load calls served from the cache.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of Load calls that parsed the workbook.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of distinct workbooks seen (including cached
+// parse failures).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

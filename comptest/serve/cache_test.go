@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+func TestCacheHitIsPointerEqual(t *testing.T) {
+	c := NewCache()
+	a, err := c.Load([]byte(paper.Workbook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Load([]byte(paper.Workbook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a.Suite != b.Suite {
+		t.Error("identical workbook bytes did not hit the cache")
+	}
+	if len(a.Scripts) == 0 || a.Key == "" {
+		t.Errorf("artifact incomplete: %d scripts, key %q", len(a.Scripts), a.Key)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", h, m)
+	}
+}
+
+func TestCacheMutatedBytesMiss(t *testing.T) {
+	c := NewCache()
+	a, err := c.Load([]byte(paper.Workbook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-token change to a limit is still a valid workbook but new
+	// content — it must parse fresh, not alias the cached artifact.
+	mutated := strings.Replace(paper.Workbook, "300", "301", 1)
+	if mutated == paper.Workbook {
+		t.Fatal("mutation had no effect")
+	}
+	b, err := c.Load([]byte(mutated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a.Suite == b.Suite || a.Key == b.Key {
+		t.Error("mutated workbook bytes hit the cache")
+	}
+	if h, m := c.Hits(), c.Misses(); h != 0 || m != 2 {
+		t.Errorf("hits=%d misses=%d, want 0/2", h, m)
+	}
+}
+
+func TestCacheCachesParseFailures(t *testing.T) {
+	c := NewCache()
+	if _, err := c.Load([]byte("not a workbook")); err == nil {
+		t.Fatal("garbage workbook accepted")
+	}
+	if _, err := c.Load([]byte("not a workbook")); err == nil {
+		t.Fatal("garbage workbook accepted on second load")
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1 (failure cached)", h, m)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheConcurrentLoads hammers one cache from many goroutines with
+// two distinct workbooks; every same-bytes load must return the same
+// artifact and each workbook must parse exactly once. Run with -race.
+func TestCacheConcurrentLoads(t *testing.T) {
+	c := NewCache()
+	other := strings.Replace(paper.Workbook, "300", "299", 1)
+	workbooks := [][]byte{[]byte(paper.Workbook), []byte(other)}
+
+	const perBook = 8
+	arts := make([]*Artifact, perBook*len(workbooks))
+	var wg sync.WaitGroup
+	for i := range arts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := c.Load(workbooks[i%len(workbooks)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			arts[i] = a
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range arts {
+		if arts[i] == nil || arts[i] != arts[i%len(workbooks)] {
+			t.Fatalf("load %d returned a different artifact", i)
+		}
+	}
+	if m := c.Misses(); m != int64(len(workbooks)) {
+		t.Errorf("misses = %d, want %d (single-flight parse)", m, len(workbooks))
+	}
+	if h := c.Hits(); h != int64(perBook*len(workbooks)-len(workbooks)) {
+		t.Errorf("hits = %d, want %d", h, perBook*len(workbooks)-len(workbooks))
+	}
+}
+
+// TestCacheEvictsOldestBeyondCap: the cache is FIFO-bounded so a
+// stream of unique workbooks cannot grow a long-lived server without
+// bound; evicted entries re-parse on the next load.
+func TestCacheEvictsOldestBeyondCap(t *testing.T) {
+	c := NewCacheCap(2)
+	wb := func(i int) []byte {
+		return []byte(strings.Replace(paper.Workbook, "300", string(rune('1'+i))+"00", 1))
+	}
+	a0, err := c.Load(wb(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(wb(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(wb(2)); err != nil { // evicts wb(0)
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want cap 2", c.Len())
+	}
+	again, err := c.Load(wb(0)) // re-parse, not a hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == a0 {
+		t.Error("evicted entry returned pointer-equal artifact")
+	}
+	if h, m := c.Hits(), c.Misses(); h != 0 || m != 4 {
+		t.Errorf("hits=%d misses=%d, want 0/4", h, m)
+	}
+}

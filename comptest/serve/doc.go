@@ -1,0 +1,40 @@
+// Package serve is the campaign-execution service: a long-lived HTTP
+// JSON job API in front of the deterministic comptest engine. It turns
+// the paper's batch-oriented test stand into a serving layer — jobs
+// are submitted over HTTP, executed by a bounded worker pool, and
+// their per-unit reports streamed back as NDJSON while they run.
+//
+//	POST   /v1/jobs             submit a job (kind: campaign | mutate | explore)
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        one job's status and summary
+//	GET    /v1/jobs/{id}/stream live NDJSON stream of report.Report objects
+//	DELETE /v1/jobs/{id}        cancel (running scripts stop at the next
+//	                            step boundary, remaining checks SKIP)
+//	GET    /healthz             liveness + queue/cache counters
+//
+// Three design points carry the load:
+//
+//   - A bounded job queue feeding a fixed worker pool: submission is
+//     admission-controlled (503 when the queue is full) so a traffic
+//     burst degrades into back-pressure, not unbounded goroutines.
+//     Each job runs as ONE comptest.Campaign / mutation.Run / explore
+//     run, inheriting their per-unit parallelism and determinism.
+//
+//   - A content-addressed artifact cache (SHA-256 of the workbook
+//     bytes → parsed suite + generated scripts): repeated submissions
+//     of the same workbook skip parsing and script generation on the
+//     hot path. Cached artifacts are shared read-only across jobs —
+//     every execution layer below builds fresh stands and DUTs per
+//     unit, and mutation clones workbook artefacts before transforming
+//     them, so sharing is safe by construction.
+//
+//   - Per-job context cancellation riding the existing
+//     stand.RunContext plumbing: DELETE cancels the job's context,
+//     undispatched units are skipped, and a script that is mid-run
+//     stops at the next step boundary with every remaining check
+//     reported as SKIP — the same semantics as an operator abort on
+//     real hardware.
+//
+// The serve CLI subcommand (cmd/comptest) wraps this package; tests
+// drive it through net/http/httptest.
+package serve

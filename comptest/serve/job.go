@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/comptest"
+	"repro/comptest/mutation"
+)
+
+// Kind selects a job's execution engine.
+const (
+	KindCampaign = "campaign" // one comptest.Campaign: every script × one stand
+	KindMutate   = "mutate"   // mutation.Run: kill matrix, baseline + mutants
+	KindExplore  = "explore"  // explore.Run: coverage-guided scenario search
+)
+
+// JobSpec is the POST /v1/jobs request body. The zero value of every
+// field selects a default; an empty spec runs the paper's built-in
+// interior-illumination campaign on the paper stand.
+type JobSpec struct {
+	// Kind: campaign (default), mutate or explore.
+	Kind string `json:"kind,omitempty"`
+	// Workbook is the inline workbook text. Mutually exclusive with
+	// WorkbookName.
+	Workbook string `json:"workbook,omitempty"`
+	// WorkbookName names a registered DUT whose built-in workbook is
+	// used. Mutually exclusive with Workbook.
+	WorkbookName string `json:"workbook_name,omitempty"`
+	// DUT is the registered model under test. Defaults to WorkbookName
+	// when that is set, interior_light otherwise.
+	DUT string `json:"dut,omitempty"`
+	// Stand is the stand profile. Defaults to the DUT's known-green
+	// stand (mutation.DefaultStand).
+	Stand string `json:"stand,omitempty"`
+	// Faults are injected into every campaign unit's DUT instance
+	// (campaign kind only).
+	Faults []string `json:"faults,omitempty"`
+	// Parallelism bounds the job's worker pool (default: the server's
+	// per-job default).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Seed and Budget parameterise explore jobs (explore's own
+	// defaults apply when zero).
+	Seed   int64 `json:"seed,omitempty"`
+	Budget int   `json:"budget,omitempty"`
+	// Oracle lists fault names used as explore kill oracles.
+	Oracle []string `json:"oracle,omitempty"`
+}
+
+// normalize resolves the spec's defaults in place and validates the
+// cheap invariants. Returns the workbook text to execute.
+func (sp *JobSpec) normalize() (string, error) {
+	switch sp.Kind {
+	case "":
+		sp.Kind = KindCampaign
+	case KindCampaign, KindMutate, KindExplore:
+	default:
+		return "", fmt.Errorf("unknown kind %q (want campaign, mutate or explore)", sp.Kind)
+	}
+	if sp.Workbook != "" && sp.WorkbookName != "" {
+		return "", fmt.Errorf("workbook and workbook_name are mutually exclusive")
+	}
+	if len(sp.Faults) > 0 && sp.Kind != KindCampaign {
+		return "", fmt.Errorf("faults only apply to campaign jobs")
+	}
+	if len(sp.Oracle) > 0 && sp.Kind != KindExplore {
+		return "", fmt.Errorf("oracle only applies to explore jobs")
+	}
+	if (sp.Seed != 0 || sp.Budget != 0) && sp.Kind != KindExplore {
+		return "", fmt.Errorf("seed and budget only apply to explore jobs")
+	}
+	if sp.DUT == "" {
+		if sp.WorkbookName != "" {
+			sp.DUT = sp.WorkbookName
+		} else {
+			sp.DUT = "interior_light"
+		}
+	}
+	if sp.Stand == "" {
+		sp.Stand = mutation.DefaultStand(sp.DUT)
+	}
+	if sp.Parallelism < 0 {
+		return "", fmt.Errorf("parallelism must be >= 0, got %d", sp.Parallelism)
+	}
+	wb := sp.Workbook
+	if wb == "" {
+		name := sp.WorkbookName
+		if name == "" {
+			name = sp.DUT
+		}
+		var err error
+		if wb, err = comptest.BuiltinWorkbook(name); err != nil {
+			return "", err
+		}
+	}
+	return wb, nil
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"      // engine completed; see Verdict
+	StateFailed    State = "failed"    // engine error (red baseline, build failure, …)
+	StateCancelled State = "cancelled" // DELETE or server shutdown
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// CampaignStatus summarises a campaign job (mirrors comptest.Summary).
+type CampaignStatus struct {
+	Units   int `json:"units"`
+	Passed  int `json:"passed"`
+	Failed  int `json:"failed"`
+	Errored int `json:"errored"`
+	Skipped int `json:"skipped"`
+}
+
+// MutationStatus summarises a mutate job's kill matrix.
+type MutationStatus struct {
+	Mutants  int `json:"mutants"`
+	Killed   int `json:"killed"`
+	Survived int `json:"survived"`
+	Errored  int `json:"errored"`
+}
+
+// ExplorationStatus summarises an explore job's corpus.
+type ExplorationStatus struct {
+	Candidates   int `json:"candidates"`
+	Executions   int `json:"executions"`
+	Scenarios    int `json:"scenarios"`
+	CoverageKeys int `json:"coverage_keys"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} response body.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	// Verdict is set on done jobs: green when the job's engine reports
+	// full success (campaign all-pass, mutation matrix without errored
+	// mutants, exploration complete), red otherwise.
+	Verdict string `json:"verdict,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Reports counts the NDJSON lines streamed so far.
+	Reports     int                `json:"reports"`
+	Workbook    string             `json:"workbook"` // artifact content hash
+	Stand       string             `json:"stand"`
+	DUT         string             `json:"dut"`
+	Campaign    *CampaignStatus    `json:"campaign,omitempty"`
+	Mutation    *MutationStatus    `json:"mutation,omitempty"`
+	Exploration *ExplorationStatus `json:"exploration,omitempty"`
+}
+
+// Job is one submitted execution, owned by the server.
+type Job struct {
+	id   string
+	spec JobSpec
+	art  *Artifact
+	log  *resultLog
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	state       State
+	verdict     string
+	errmsg      string
+	campaign    *CampaignStatus
+	mutation    *MutationStatus
+	exploration *ExplorationStatus
+}
+
+// currentState reads the state without the full Status snapshot —
+// the cheap accessor for eviction and health scans.
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setState transitions a non-terminal job.
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	if !j.state.terminal() {
+		j.state = s
+	}
+	j.mu.Unlock()
+}
+
+// finish records the terminal state and closes the result log, ending
+// every attached stream. Idempotent: a job can be finished both by the
+// cancel handler (while queued) and by the worker that later dequeues
+// it — only the first call wins.
+func (j *Job) finish(s State, verdict, errmsg string) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = s
+	j.verdict = verdict
+	j.errmsg = errmsg
+	j.mu.Unlock()
+	j.log.close()
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.id,
+		Kind:     j.spec.Kind,
+		State:    j.state,
+		Verdict:  j.verdict,
+		Error:    j.errmsg,
+		Reports:  j.log.len(),
+		Workbook: j.art.Key,
+		Stand:    j.spec.Stand,
+		DUT:      j.spec.DUT,
+	}
+	if j.campaign != nil {
+		c := *j.campaign
+		st.Campaign = &c
+	}
+	if j.mutation != nil {
+		m := *j.mutation
+		st.Mutation = &m
+	}
+	if j.exploration != nil {
+		e := *j.exploration
+		st.Exploration = &e
+	}
+	return st
+}
+
+// --------------------------------------------------------------- results --
+
+// resultLog is a job's append-only NDJSON buffer with broadcast: the
+// executing job appends lines through the io.Writer side (one Write
+// call per line — the comptest.NDJSON contract), while any number of
+// stream handlers replay from the start and block for more until the
+// log closes. This is what makes GET /v1/jobs/{id}/stream attachable
+// at any time, including after the job finished.
+type resultLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  [][]byte
+	closed bool
+}
+
+func newResultLog() *resultLog {
+	l := &resultLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Write appends one complete NDJSON line. Implements io.Writer for
+// comptest.NDJSON, which issues exactly one Write per result.
+func (l *resultLog) Write(p []byte) (int, error) {
+	line := append([]byte(nil), p...)
+	l.mu.Lock()
+	l.lines = append(l.lines, line)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return len(p), nil
+}
+
+// close marks the log complete and wakes every waiting reader.
+func (l *resultLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *resultLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lines)
+}
+
+// wake broadcasts under the log mutex. The lock is what makes the
+// wakeup reliable: a reader is then provably either before its
+// ctx.Err() check (and will see the cancellation) or parked in Wait
+// (and will receive the broadcast) — never in between, where a bare
+// Broadcast would be lost and leave the reader blocked until the next
+// Write.
+func (l *resultLog) wake() {
+	l.mu.Lock()
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// next blocks until line i exists (returning it) or the log is closed
+// with fewer lines / ctx is cancelled (returning ok == false). Callers
+// must arrange for the cond to be broadcast on ctx cancellation
+// (context.AfterFunc), or next would block past the client disconnect.
+func (l *resultLog) next(ctx context.Context, i int) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		if i < len(l.lines) {
+			return l.lines[i], true
+		}
+		if l.closed {
+			return nil, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// trimPrefix strips the library's error prefix for API messages.
+func trimPrefix(err error) string {
+	return strings.TrimPrefix(err.Error(), "comptest: ")
+}

@@ -1,0 +1,530 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/comptest"
+	"repro/comptest/explore"
+	"repro/comptest/mutation"
+	"repro/internal/stand"
+)
+
+// Options configures a Server. Zero values select the defaults.
+type Options struct {
+	// Workers is the number of jobs executed concurrently (default 2).
+	// Parallelism *within* a job is the job spec's own knob.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs
+	// (default 16). A full queue rejects submissions with 503 —
+	// admission control instead of unbounded buffering.
+	QueueDepth int
+	// DefaultParallelism is the per-job worker-pool bound applied when
+	// a spec leaves Parallelism at 0 (default 1 — fully deterministic).
+	DefaultParallelism int
+	// Cache is the artifact cache; nil builds a fresh one. Passing a
+	// shared cache lets several servers (or a server and a batch CLI)
+	// reuse parse work.
+	Cache *Cache
+	// Retention bounds the terminal jobs kept for status/stream reads
+	// (default 256). When exceeded, the oldest terminal jobs — and
+	// their buffered result logs — are evicted, so a long-lived server
+	// does not grow without bound. Queued and running jobs are never
+	// evicted.
+	Retention int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 16
+	}
+	if o.DefaultParallelism < 1 {
+		o.DefaultParallelism = 1
+	}
+	if o.Cache == nil {
+		o.Cache = NewCache()
+	}
+	if o.Retention < 1 {
+		o.Retention = 256
+	}
+	return o
+}
+
+// Server is the campaign-execution service: a bounded job queue, a
+// fixed worker pool and the HTTP API over both. Create with New,
+// expose via Handler, stop with Close.
+type Server struct {
+	opts  Options
+	cache *Cache
+
+	ctx    context.Context // root of every job context
+	cancel context.CancelFunc
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for GET /v1/jobs
+	seq    int
+	closed bool
+
+	// observe, when non-nil, attaches a per-unit observer to campaign
+	// jobs. Test hook: lets tests synchronise with a running script
+	// (e.g. cancel after the first step) without timing races.
+	observe func(job *Job, unit int) stand.Observer
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		cache:  opts.Cache,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *Job, opts.QueueDepth),
+		jobs:   map[string]*Job{},
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Close cancels every queued and running job and waits for the
+// workers to drain. The Handler keeps answering status/stream reads
+// after Close; submissions are rejected.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// ------------------------------------------------------------- handlers --
+
+// maxSpecBytes caps the POST /v1/jobs body — generous for any real
+// inline workbook (the paper's is ~4 KiB) while keeping a single
+// request from defeating the server's memory bounds.
+const maxSpecBytes = 8 << 20
+
+// apiError is the JSON error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status is already committed; an encode failure here can only
+	// mean a dead client.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit validates the spec, resolves the workbook through the
+// artifact cache (the hot path: identical bytes skip parse+generate),
+// and enqueues the job. 400 on an invalid spec, 503 on a full queue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	// The queue, the retention bound and the cache cap all bound
+	// memory — an unbounded request body would defeat all three.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"job spec exceeds %d bytes", int64(maxSpecBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed job spec: %v", err)
+		return
+	}
+	wb, err := spec.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", trimPrefix(err))
+		return
+	}
+	if spec.Parallelism == 0 {
+		spec.Parallelism = s.opts.DefaultParallelism
+	}
+	// Validate the execution targets up front so a typo fails the
+	// submission, not the job: stand profile, DUT model, fault and
+	// oracle names.
+	if _, err := comptest.NewRunner(comptest.WithStand(spec.Stand)); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", trimPrefix(err))
+		return
+	}
+	if _, err := comptest.FaultedFactory(spec.DUT, spec.Faults...); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", trimPrefix(err))
+		return
+	}
+	for _, f := range spec.Oracle {
+		if _, err := comptest.FaultedFactory(spec.DUT, f); err != nil {
+			writeError(w, http.StatusBadRequest, "oracle: %s", trimPrefix(err))
+			return
+		}
+	}
+	art, err := s.cache.Load([]byte(wb))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "workbook: %s", trimPrefix(err))
+		return
+	}
+
+	jobCtx, jobCancel := context.WithCancel(s.ctx)
+	job := &Job{
+		spec:   spec,
+		art:    art,
+		log:    newResultLog(),
+		ctx:    jobCtx,
+		cancel: jobCancel,
+		state:  StateQueued,
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		jobCancel()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.seq++
+	job.id = fmt.Sprintf("job-%06d", s.seq)
+	select {
+	case s.queue <- job:
+	default:
+		s.seq-- // job was never admitted
+		s.mu.Unlock()
+		jobCancel()
+		writeError(w, http.StatusServiceUnavailable,
+			"job queue full (%d queued); retry later", s.opts.QueueDepth)
+		return
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// evictTerminal drops the oldest terminal jobs beyond the retention
+// bound. Called after each job finishes; queued/running jobs are
+// exempt, so the map stays bounded by retention + queue + workers.
+func (s *Server) evictTerminal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].currentState().terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.opts.Retention {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.opts.Retention && s.jobs[id].currentState().terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.jobs[id].Status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{statuses})
+}
+
+// handleCancel cancels a queued or running job. Cancelling a terminal
+// job is a no-op; either way the current status is returned.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	job.cancel()
+	// A queued job's outcome is decided the moment it is cancelled;
+	// finishing it here (instead of when a worker finally dequeues it)
+	// keeps its status and stream from hanging behind unrelated
+	// long-running jobs. finish is idempotent, so the race with a
+	// worker that just dequeued it is harmless — and that worker only
+	// ever sees a cancelled context.
+	job.mu.Lock()
+	queued := job.state == StateQueued
+	job.mu.Unlock()
+	if queued {
+		job.finish(StateCancelled, "", "cancelled while queued")
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleStream replays the job's NDJSON result log from the start and
+// follows it live until the job reaches a terminal state or the client
+// disconnects. Content-Type is application/x-ndjson; each line is one
+// report.Report (report.DecodeJSON) or one {"seq","error"} object for
+// a unit that could not be built.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	// Push the status line out before blocking on the first report —
+	// a client attached to a quiet running job must see the 200, not
+	// silence.
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	// A client disconnect must wake a blocked next(); the log's cond
+	// has no channel to select on, so broadcast from the context.
+	stop := context.AfterFunc(r.Context(), job.log.wake)
+	defer stop()
+
+	for i := 0; ; i++ {
+		line, ok := job.log.next(r.Context(), i)
+		if !ok {
+			return
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var queued, running, terminal int
+	for _, job := range s.jobs {
+		switch st := job.currentState(); {
+		case st == StateQueued:
+			queued++
+		case st == StateRunning:
+			running++
+		default:
+			terminal++
+		}
+	}
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		OK          bool  `json:"ok"`
+		Workers     int   `json:"workers"`
+		QueueDepth  int   `json:"queue_depth"`
+		Jobs        int   `json:"jobs"`
+		Queued      int   `json:"queued"`
+		Running     int   `json:"running"`
+		Terminal    int   `json:"terminal"`
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+	}{true, s.opts.Workers, s.opts.QueueDepth, jobs, queued, running, terminal,
+		s.cache.Hits(), s.cache.Misses()})
+}
+
+// ------------------------------------------------------------- execution --
+
+// runJob executes one job on a worker goroutine.
+func (s *Server) runJob(job *Job) {
+	defer job.cancel() // release the context's resources either way
+	defer s.evictTerminal()
+	if job.ctx.Err() != nil {
+		job.finish(StateCancelled, "", "cancelled while queued")
+		return
+	}
+	job.setState(StateRunning)
+
+	var verdict string
+	var err error
+	switch job.spec.Kind {
+	case KindCampaign:
+		verdict, err = s.runCampaign(job)
+	case KindMutate:
+		verdict, err = s.runMutate(job)
+	case KindExplore:
+		verdict, err = s.runExplore(job)
+	default: // unreachable: normalize validated the kind
+		err = fmt.Errorf("unknown kind %q", job.spec.Kind)
+	}
+	switch {
+	case job.ctx.Err() != nil:
+		job.finish(StateCancelled, "", "cancelled")
+	case err != nil:
+		job.finish(StateFailed, "", trimPrefix(err))
+	default:
+		job.finish(StateDone, verdict, "")
+	}
+}
+
+// runCampaign fans the cached scripts over one stand as a single
+// Campaign, streaming every report to the job log in unit order.
+func (s *Server) runCampaign(job *Job) (string, error) {
+	factory, err := comptest.FaultedFactory(job.spec.DUT, job.spec.Faults...)
+	if err != nil {
+		return "", err
+	}
+	units := comptest.Cross(job.art.Scripts, []string{job.spec.Stand}, "")
+	for i := range units {
+		units[i].Factory = factory
+		if s.observe != nil {
+			units[i].Observer = s.observe(job, i)
+		}
+	}
+	sink := comptest.NDJSON(job.log)
+	runner, err := comptest.NewRunner(
+		comptest.WithStand(job.spec.Stand),
+		comptest.WithParallelism(job.spec.Parallelism),
+		comptest.WithSink(comptest.Ordered(sink)),
+	)
+	if err != nil {
+		return "", err
+	}
+	sum, err := runner.Campaign(job.ctx, units)
+	job.mu.Lock()
+	job.campaign = &CampaignStatus{Units: sum.Units, Passed: sum.Passed,
+		Failed: sum.Failed, Errored: sum.Errored, Skipped: sum.Skipped}
+	job.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	if sum.Passed == sum.Units {
+		return "green", nil
+	}
+	return "red", nil
+}
+
+// runMutate executes the kill matrix of the job's suite, streaming
+// baseline and mutant reports as they complete.
+func (s *Server) runMutate(job *Job) (string, error) {
+	plan, err := mutation.Enumerate(job.spec.DUT, job.spec.Stand, job.art.Suite)
+	if err != nil {
+		return "", err
+	}
+	mat, err := mutation.Run(job.ctx, plan, mutation.Options{
+		Parallelism: job.spec.Parallelism,
+		Sink:        comptest.NDJSON(job.log),
+	})
+	if err != nil {
+		return "", err
+	}
+	st := &MutationStatus{Mutants: len(mat.Outcomes)}
+	for _, o := range mat.Outcomes {
+		switch {
+		case o.Err != nil:
+			st.Errored++
+		case o.Killed:
+			st.Killed++
+		default:
+			st.Survived++
+		}
+	}
+	job.mu.Lock()
+	job.mutation = st
+	job.mu.Unlock()
+	if st.Errored > 0 {
+		return "red", nil
+	}
+	return "green", nil
+}
+
+// runExplore runs coverage-guided exploration, streaming every stand
+// execution's report.
+func (s *Server) runExplore(job *Job) (string, error) {
+	ex, err := explore.New(job.art.Suite, explore.Options{
+		DUT:         job.spec.DUT,
+		Stand:       job.spec.Stand,
+		Seed:        job.spec.Seed,
+		Budget:      job.spec.Budget,
+		Parallelism: job.spec.Parallelism,
+		Oracle:      job.spec.Oracle,
+		Sink:        comptest.NDJSON(job.log),
+	})
+	if err != nil {
+		return "", err
+	}
+	res, err := ex.Run(job.ctx)
+	if res != nil {
+		job.mu.Lock()
+		job.exploration = &ExplorationStatus{
+			Candidates:   res.Candidates,
+			Executions:   res.Executions,
+			Scenarios:    res.Corpus.Len(),
+			CoverageKeys: res.Coverage.Len(),
+		}
+		job.mu.Unlock()
+	}
+	if err != nil {
+		return "", err
+	}
+	return "green", nil
+}

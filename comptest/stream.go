@@ -1,0 +1,58 @@
+package comptest
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/report"
+)
+
+// NDJSONSink streams campaign results as newline-delimited JSON: one
+// report.Report object per completed unit (report.EncodeJSON), or one
+// {"seq","script","stand","error"} object for a unit whose execution
+// could not be built. Each result is written with exactly ONE Write
+// call, so an io.Writer that treats call boundaries as line boundaries
+// (e.g. the campaign service's per-job result log) receives whole
+// lines; a plain file or socket simply sees NDJSON. The Runner
+// serialises Emit calls, so the sink needs no locking; wrap it in
+// Ordered to stream in unit order under parallelism.
+type NDJSONSink struct {
+	w   io.Writer
+	err error
+}
+
+// NDJSON builds a streaming NDJSON sink over w.
+func NDJSON(w io.Writer) *NDJSONSink { return &NDJSONSink{w: w} }
+
+// jobError is the NDJSON shape of a unit that never produced a report.
+type jobError struct {
+	Seq    int    `json:"seq"`
+	Script string `json:"script,omitempty"`
+	Stand  string `json:"stand,omitempty"`
+	Error  string `json:"error"`
+}
+
+// Emit implements Sink. The first write or encode failure latches into
+// Err; later results are dropped so a broken pipe does not spam.
+func (s *NDJSONSink) Emit(r Result) {
+	if s.err != nil {
+		return
+	}
+	var line []byte
+	if r.Err != nil {
+		e := jobError{Seq: r.Seq, Stand: r.Unit.Stand, Error: r.Err.Error()}
+		if r.Unit.Script != nil {
+			e.Script = r.Unit.Script.Name
+		}
+		line, s.err = json.Marshal(e)
+	} else {
+		line, s.err = report.EncodeJSON(r.Report)
+	}
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.w.Write(append(line, '\n'))
+}
+
+// Err returns the first write or encode failure, or nil.
+func (s *NDJSONSink) Err() error { return s.err }

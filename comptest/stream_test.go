@@ -1,0 +1,90 @@
+package comptest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/script"
+)
+
+// TestNDJSONSinkStreamsReports runs the paper campaign through an
+// Ordered NDJSON sink and decodes every line back.
+func TestNDJSONSinkStreamsReports(t *testing.T) {
+	sc := paperScript(t)
+	var buf bytes.Buffer
+	sink := NDJSON(&buf)
+	r, err := NewRunner(
+		WithDUT("interior_light"),
+		WithParallelism(2),
+		WithSink(Ordered(sink)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := r.Campaign(context.Background(),
+		Cross([]*script.Script{sc}, []string{"paper_stand"}, ""))
+	if err != nil || sum.Passed != sum.Units {
+		t.Fatalf("campaign: %v (%s)", err, sum)
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	lines := bufio.NewScanner(&buf)
+	n := 0
+	for lines.Scan() {
+		rep, err := report.DecodeJSON(lines.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Script != sc.Name || rep.Stand != "paper_stand" || !rep.Passed() {
+			t.Errorf("line %d decoded wrong: %s", n, rep.Summary())
+		}
+		n++
+	}
+	if n != sum.Units {
+		t.Errorf("streamed %d lines, want %d", n, sum.Units)
+	}
+}
+
+// TestNDJSONSinkUnitError pins the error-object shape for units whose
+// execution could not be built.
+func TestNDJSONSinkUnitError(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NDJSON(&buf)
+	sink.Emit(Result{Seq: 3, Err: errors.New("no such stand")})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	line := strings.TrimSpace(buf.String())
+	if line != `{"seq":3,"error":"no such stand"}` {
+		t.Errorf("error line = %s", line)
+	}
+	if _, err := report.DecodeJSON([]byte(line)); err == nil {
+		t.Error("error object decoded as a report")
+	}
+}
+
+// TestNDJSONSinkWriteErrorLatches verifies a failed write stops
+// further output instead of spamming a broken pipe.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, fmt.Errorf("pipe closed")
+}
+
+func TestNDJSONSinkWriteErrorLatches(t *testing.T) {
+	fw := &failingWriter{}
+	sink := NDJSON(fw)
+	sink.Emit(Result{Report: &report.Report{Script: "a"}})
+	sink.Emit(Result{Report: &report.Report{Script: "b"}})
+	if sink.Err() == nil || fw.n != 1 {
+		t.Errorf("err=%v writes=%d, want latched error after 1 write", sink.Err(), fw.n)
+	}
+}

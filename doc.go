@@ -10,8 +10,10 @@
 // test-strength reports) and coverage-guided scenario exploration in
 // comptest/explore (seeded random-walk generation, behavioural
 // coverage, shrinking, promotion of discovered scenarios into
-// workbook tests). The building blocks live under internal/, the
-// command line tool under cmd/comptest, runnable examples under
-// examples/, and bench_test.go regenerates every table and figure of
-// the paper.
+// workbook tests) and the campaign-execution service in
+// comptest/serve (HTTP JSON job API, bounded queue + worker pool,
+// content-addressed artifact cache, NDJSON report streaming). The
+// building blocks live under internal/, the command line tools under
+// cmd/comptest and cmd/benchjson, runnable examples under examples/,
+// and bench_test.go regenerates every table and figure of the paper.
 package repro

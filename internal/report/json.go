@@ -1,0 +1,115 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON form of a report is the wire format of the campaign service
+// (comptest serve): one compact object per report, newline-terminated,
+// so a stream of reports is NDJSON. Like the XML writer, mirror types
+// keep the exported structs free of encoding tags; verdicts travel as
+// their String() form so the stream is self-describing.
+
+type jsonCheck struct {
+	Signal   string `json:"signal"`
+	Method   string `json:"method"`
+	Expected string `json:"expected,omitempty"`
+	Measured string `json:"measured,omitempty"`
+	Verdict  string `json:"verdict"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+type jsonStep struct {
+	Nr      int         `json:"nr"`
+	Dt      float64     `json:"dt"`
+	Remark  string      `json:"remark,omitempty"`
+	Applied []string    `json:"applied,omitempty"`
+	Checks  []jsonCheck `json:"checks,omitempty"`
+}
+
+type jsonReport struct {
+	Script string     `json:"script"`
+	Stand  string     `json:"stand"`
+	DUT    string     `json:"dut,omitempty"`
+	Fatal  string     `json:"fatal,omitempty"`
+	Passed bool       `json:"passed"`
+	Steps  []jsonStep `json:"steps"`
+}
+
+// ParseVerdict is the inverse of Verdict.String.
+func ParseVerdict(s string) (Verdict, error) {
+	switch s {
+	case "PASS":
+		return Pass, nil
+	case "FAIL":
+		return Fail, nil
+	case "ERROR":
+		return Error, nil
+	case "SKIP":
+		return Skip, nil
+	}
+	return 0, fmt.Errorf("report: unknown verdict %q", s)
+}
+
+// EncodeJSON renders the report as one compact JSON object (no trailing
+// newline). The "passed" field is derived from the verdicts on encode
+// and ignored on decode.
+func EncodeJSON(r *Report) ([]byte, error) {
+	x := jsonReport{Script: r.Script, Stand: r.Stand, DUT: r.DUT,
+		Fatal: r.FatalErr, Passed: r.Passed(), Steps: []jsonStep{}}
+	for _, s := range r.Steps {
+		js := jsonStep{Nr: s.Nr, Dt: s.Dt, Remark: s.Remark, Applied: s.Applied}
+		for _, c := range s.Checks {
+			js.Checks = append(js.Checks, jsonCheck{Signal: c.Signal, Method: c.Method,
+				Expected: c.Expected, Measured: c.Measured,
+				Verdict: c.Verdict.String(), Detail: c.Detail})
+		}
+		x.Steps = append(x.Steps, js)
+	}
+	return json.Marshal(x)
+}
+
+// WriteJSON writes the report as one NDJSON line.
+func WriteJSON(w io.Writer, r *Report) error {
+	b, err := EncodeJSON(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// DecodeJSON parses one JSON report line produced by EncodeJSON.
+// Unknown fields are rejected so stream corruption (an error object, a
+// truncated line) surfaces as an error instead of a zero report.
+func DecodeJSON(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var x jsonReport
+	if err := dec.Decode(&x); err != nil {
+		return nil, fmt.Errorf("report: decode: %v", err)
+	}
+	// Two NDJSON lines glued together by a lost newline must not decode
+	// as one valid report with the second silently dropped.
+	if dec.More() {
+		return nil, fmt.Errorf("report: decode: trailing data after the report object")
+	}
+	r := &Report{Script: x.Script, Stand: x.Stand, DUT: x.DUT, FatalErr: x.Fatal}
+	for _, js := range x.Steps {
+		s := StepResult{Nr: js.Nr, Dt: js.Dt, Remark: js.Remark, Applied: js.Applied}
+		for _, jc := range js.Checks {
+			v, err := ParseVerdict(jc.Verdict)
+			if err != nil {
+				return nil, fmt.Errorf("report: decode %s step %d: %v", x.Script, js.Nr, err)
+			}
+			s.Checks = append(s.Checks, Check{Signal: jc.Signal, Method: jc.Method,
+				Expected: jc.Expected, Measured: jc.Measured, Verdict: v, Detail: jc.Detail})
+		}
+		r.Steps = append(r.Steps, s)
+	}
+	return r, nil
+}
