@@ -4,13 +4,21 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/comptest"
+	"repro/comptest/dist"
 	"repro/comptest/explore"
 	"repro/comptest/mutation"
+	"repro/comptest/serve"
 	"repro/internal/alloc"
 	"repro/internal/analog"
 	"repro/internal/ecu"
@@ -572,6 +580,74 @@ func BenchmarkExplore(b *testing.B) {
 					want = fp
 				} else if fp != want {
 					b.Fatal("corpus changed under parallelism")
+				}
+			}
+		})
+	}
+}
+
+// ----------------------------------------------------------- distributed --
+
+// BenchmarkDistributedCampaign measures the coordinator/worker layer
+// end to end: the 4-script central-locking campaign submitted over
+// HTTP to a dist.Coordinator, sharded one unit per shard across 1, 2
+// or 4 local workers, merged and streamed back. The 1-worker fleet is
+// the distribution-overhead baseline (wire format + shard round trips
+// on one node); wider fleets show the spread. Verdicts must not
+// depend on the fleet size.
+func BenchmarkDistributedCampaign(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			coord := dist.New(dist.Options{ShardUnits: 1})
+			ts := httptest.NewServer(coord.Handler())
+			defer func() {
+				ts.Close()
+				coord.Close()
+			}()
+			for i := 0; i < workers; i++ {
+				w, err := dist.StartWorker(dist.WorkerOptions{
+					Coordinator: ts.URL,
+					Name:        fmt.Sprintf("bench-%d", i),
+					Serve:       serve.Options{Workers: 2},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+					strings.NewReader(`{"kind":"campaign","workbook_name":"central_locking"}`))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var st serve.JobStatus
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				stream, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+				if err != nil {
+					b.Fatal(err)
+				}
+				body, err := io.ReadAll(stream.Body)
+				stream.Body.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := bytes.Count(body, []byte("\n")); n != 4 {
+					b.Fatalf("merged stream has %d lines, want 4", n)
+				}
+				final, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var fs serve.JobStatus
+				err = json.NewDecoder(final.Body).Decode(&fs)
+				final.Body.Close()
+				if err != nil || fs.Verdict != "green" {
+					b.Fatalf("verdict %q under %d workers (%v)", fs.Verdict, workers, err)
 				}
 			}
 		})

@@ -10,7 +10,9 @@
 //	comptest run     -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE]
 //	comptest mutate  [-workbook FILE] [-dut NAME] [-all] [-parallel N] [-format text|json]
 //	comptest explore [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N] [-oracle LIST] [-promote FILE] [-format text|json]
-//	comptest serve   [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N]
+//	comptest serve   [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N] [-workers-remote]
+//	comptest worker  -join URL [-addr HOST:PORT] [-name NAME]
+//	comptest version
 //	comptest reuse   -workbook FILE
 //	comptest tables
 //
@@ -22,7 +24,10 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"repro/comptest"
+	"repro/comptest/dist"
 	"repro/comptest/explore"
 	"repro/comptest/mutation"
 	"repro/comptest/serve"
@@ -51,6 +57,7 @@ import (
 	"repro/internal/sheet"
 	"repro/internal/stand"
 	"repro/internal/topology"
+	"repro/internal/version"
 )
 
 func main() {
@@ -88,6 +95,11 @@ func run(args []string, out io.Writer) error {
 		return cmdExplore(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "worker":
+		return cmdWorker(args[1:], out)
+	case "version":
+		fmt.Fprintln(out, version.String())
+		return nil
 	case "reuse":
 		return cmdReuse(args[1:], out)
 	case "tables":
@@ -110,14 +122,19 @@ func usage(out io.Writer) {
 subcommands:
   gen    -workbook FILE [-test NAME] [-out DIR]    generate XML test scripts
   lint   -workbook FILE                            validate a workbook
-  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE]
+  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE] [-coordinator URL]
   mutate [-workbook FILE] [-dut NAME] [-stand NAME] [-all] [-parallel N] [-format text|json]
                                                    mutation kill matrix + test-strength report
   explore [-workbook FILE] [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N]
           [-oracle FAULTS|survivors] [-promote FILE] [-format text|json]
                                                    coverage-guided scenario exploration
   serve  [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N]
-                                                   campaign-execution service (HTTP JSON job API)
+         [-workers-remote] [-shard-units N] [-lease DUR]
+                                                   campaign-execution service (HTTP JSON job API);
+                                                   -workers-remote shards jobs across joined workers
+  worker -join URL [-addr HOST:PORT] [-name NAME] [-workers N] [-parallel N]
+                                                   execution node for a -workers-remote coordinator
+  version                                          module + go toolchain version
   reuse  [-workbook FILE]                          cross-stand reuse matrix
   tables                                           regenerate the paper's tables
   archive [-out FILE] [-origin NAME]               archive built-in suites as a knowledge base
@@ -250,12 +267,20 @@ func cmdRun(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 1, "run up to N scripts concurrently, each on its own stand instance")
 	format := fs.String("format", "text", "report format: text, csv, xml, junit or ndjson")
 	junitPath := fs.String("junit", "", "also write the campaign as one JUnit <testsuites> file")
+	coordinator := fs.String("coordinator", "", "submit the campaign to this coordinator/serve URL instead of executing locally")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	write, err := reportWriter(*format)
 	if err != nil {
 		return err
+	}
+	if *coordinator != "" {
+		var faults []string
+		if *fault != "" {
+			faults = []string{*fault}
+		}
+		return runRemote(*coordinator, *workbook, *standName, *dutName, faults, *parallel, write, *junitPath, out)
 	}
 	suite, _, err := loadWorkbook(*workbook, builtinFor(*dutName))
 	if err != nil {
@@ -336,6 +361,122 @@ func cmdRun(args []string, out io.Writer) error {
 		return fmt.Errorf("test run FAILED (%s)", sum)
 	}
 	return nil
+}
+
+// runRemote submits the campaign as a job to a running serve or
+// coordinator instance, streams the merged NDJSON back, renders every
+// report with the chosen format writer and maps the remote verdict to
+// the exit code — `comptest run` semantics, execution elsewhere.
+func runRemote(base, workbook, standName, dutName string, faults []string,
+	parallel int, write func(io.Writer, *report.Report) error, junitPath string, out io.Writer) error {
+	spec := serve.JobSpec{
+		Kind:        serve.KindCampaign,
+		DUT:         dutName,
+		Stand:       standName,
+		Faults:      faults,
+		Parallelism: parallel,
+	}
+	if workbook != "" {
+		wb, err := os.ReadFile(workbook)
+		if err != nil {
+			return err
+		}
+		spec.Workbook = string(wb)
+	} else {
+		wb, err := comptest.BuiltinWorkbook(dutName)
+		if err != nil {
+			return err
+		}
+		spec.Workbook = wb
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("run: %s rejected the job (%d): %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+
+	stream, err := http.Get(base + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		return fmt.Errorf("run: stream status %d", stream.StatusCode)
+	}
+	var reports []*report.Report // stream order == unit order, for -junit
+	br := bufio.NewReader(stream.Body)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+		line = line[:len(line)-1]
+		rep, derr := report.DecodeJSON(line)
+		if derr != nil {
+			// A unit that never produced a report (report.ErrorLine).
+			el, eerr := report.DecodeErrorLine(line)
+			if eerr != nil {
+				return fmt.Errorf("run: unrecognisable stream line: %.120s", line)
+			}
+			return fmt.Errorf("run: unit %d (%s) errored remotely: %s", el.Seq, el.Script, el.Error)
+		}
+		reports = append(reports, rep)
+		if err := write(out, rep); err != nil {
+			return err
+		}
+	}
+	// Like the local path, the JUnit file records whatever completed —
+	// red runs included.
+	if junitPath != "" {
+		f, ferr := os.Create(junitPath)
+		if ferr != nil {
+			return ferr
+		}
+		ferr = report.WriteJUnitSuites(f, reports)
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			return ferr
+		}
+	}
+
+	final, err := http.Get(base + "/v1/jobs/" + st.ID)
+	if err != nil {
+		return err
+	}
+	defer final.Body.Close()
+	var fs serve.JobStatus
+	if err := json.NewDecoder(final.Body).Decode(&fs); err != nil {
+		return err
+	}
+	switch {
+	case fs.State == serve.StateDone && fs.Verdict == "green":
+		return nil
+	case fs.State == serve.StateDone:
+		if fs.Campaign != nil {
+			return fmt.Errorf("test run FAILED (%d units: %d passed, %d failed, %d errored, %d skipped)",
+				fs.Campaign.Units, fs.Campaign.Passed, fs.Campaign.Failed, fs.Campaign.Errored, fs.Campaign.Skipped)
+		}
+		return fmt.Errorf("test run FAILED (verdict %s)", fs.Verdict)
+	default:
+		return fmt.Errorf("run: remote job ended %s: %s", fs.State, fs.Error)
+	}
 }
 
 // cmdMutate runs the mutation kill matrix and prints the test-strength
@@ -503,32 +644,57 @@ var (
 )
 
 // cmdServe runs the campaign-execution service: a bounded job queue +
-// worker pool behind an HTTP JSON API (see comptest/serve). It blocks
-// until interrupted, then shuts down gracefully — in-flight jobs are
-// cancelled through their contexts, so running scripts stop at the
-// next step boundary with the remaining checks SKIPped.
+// worker pool behind an HTTP JSON API (see comptest/serve). With
+// -workers-remote it runs as a distributed coordinator instead
+// (comptest/dist): jobs shard across workers joined via `comptest
+// worker -join`, falling back to local execution while the fleet is
+// empty. It blocks until interrupted, then shuts down gracefully —
+// in-flight jobs are cancelled through their contexts, so running
+// scripts stop at the next step boundary with the remaining checks
+// SKIPped.
 func cmdServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8833", "listen address (use :0 for an ephemeral port)")
 	workers := fs.Int("workers", 2, "jobs executed concurrently")
 	queue := fs.Int("queue", 16, "bounded queue depth; a full queue rejects jobs with 503")
 	parallel := fs.Int("parallel", 1, "default per-job worker-pool bound")
+	remote := fs.Bool("workers-remote", false, "coordinate remote workers: shard jobs across nodes joined via 'comptest worker -join'")
+	shardUnits := fs.Int("shard-units", 4, "max campaign units per shard (with -workers-remote)")
+	lease := fs.Duration("lease", 15*time.Second, "worker lease: a node silent this long is not scheduled (with -workers-remote)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := serve.New(serve.Options{
+	serveOpts := serve.Options{
 		Workers:            *workers,
 		QueueDepth:         *queue,
 		DefaultParallelism: *parallel,
-	})
-	defer srv.Close()
+	}
+	var (
+		handler http.Handler
+		closeFn func()
+		mode    string
+	)
+	if *remote {
+		coord := dist.New(dist.Options{
+			Serve:      serveOpts,
+			ShardUnits: *shardUnits,
+			LeaseTTL:   *lease,
+		})
+		handler, closeFn = coord.Handler(), coord.Close
+		mode = fmt.Sprintf("coordinator, shard-units %d; join workers with 'comptest worker -join URL'", *shardUnits)
+	} else {
+		srv := serve.New(serveOpts)
+		handler, closeFn = srv.Handler(), srv.Close
+		mode = "single node"
+	}
+	defer closeFn()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "comptest serve: listening on http://%s (%d workers, queue %d)\n",
-		ln.Addr(), *workers, *queue)
+	fmt.Fprintf(out, "comptest serve: listening on http://%s (%d workers, queue %d, %s)\n",
+		ln.Addr(), *workers, *queue, mode)
 	if serveReady != nil {
 		serveReady(ln.Addr().String())
 	}
@@ -539,7 +705,7 @@ func cmdServe(args []string, out io.Writer) error {
 		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -550,7 +716,7 @@ func cmdServe(args []string, out io.Writer) error {
 		// Cancel the jobs FIRST: that closes every result log, so
 		// attached streams end cleanly at a terminal state instead of
 		// pinning Shutdown to its timeout and being severed mid-line.
-		srv.Close()
+		closeFn()
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -558,6 +724,50 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+}
+
+// cmdWorker runs one execution node: a local serve engine on its own
+// port, registered and heartbeating with a -workers-remote
+// coordinator, executing the shards dispatched to it.
+func cmdWorker(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	join := fs.String("join", "", "coordinator base URL (required), e.g. http://127.0.0.1:8833")
+	addr := fs.String("addr", "127.0.0.1:0", "listen address for this worker's job API")
+	name := fs.String("name", "", "worker label shown in the coordinator's /v1/workers")
+	workers := fs.Int("workers", 2, "shards executed concurrently (advertised as capacity)")
+	parallel := fs.Int("parallel", 1, "default per-shard worker-pool bound")
+	queue := fs.Int("queue", 16, "bounded shard queue depth")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *join == "" {
+		return fmt.Errorf("worker: -join URL is required")
+	}
+	w, err := dist.StartWorker(dist.WorkerOptions{
+		Coordinator: *join,
+		Name:        *name,
+		Addr:        *addr,
+		Serve: serve.Options{
+			Workers:            *workers,
+			QueueDepth:         *queue,
+			DefaultParallelism: *parallel,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "comptest worker: %s serving on %s, joined %s (%s)\n",
+		w.ID(), w.URL(), *join, version.String())
+	if serveReady != nil {
+		serveReady(w.URL())
+	}
+	ctx := serveCtx
+	if ctx == nil {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	return w.Wait(ctx)
 }
 
 func cmdReuse(args []string, out io.Writer) error {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/paper"
 	"repro/internal/report"
+	"repro/internal/version"
 )
 
 func runCLI(t *testing.T, args ...string) (string, error) {
@@ -375,6 +376,115 @@ func TestExitCodes(t *testing.T) {
 	}
 	if code := realMain([]string{"run", "-fault", "stuck_off"}, io.Discard, io.Discard); code != 1 {
 		t.Errorf("failing campaign: exit %d, want 1", code)
+	}
+	if code := realMain([]string{"version"}, io.Discard, io.Discard); code != 0 {
+		t.Errorf("version: exit %d, want 0", code)
+	}
+	if code := realMain([]string{"worker"}, io.Discard, io.Discard); code != 1 {
+		t.Errorf("worker without -join: exit %d, want 1", code)
+	}
+	if code := realMain([]string{"worker", "-join", "http://127.0.0.1:1"}, io.Discard, io.Discard); code != 1 {
+		t.Errorf("worker with unreachable coordinator: exit %d, want 1", code)
+	}
+}
+
+// TestVersion pins the version subcommand to the identity string the
+// distributed handshake exchanges (internal/version).
+func TestVersion(t *testing.T) {
+	out, err := runCLI(t, "version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != version.String() {
+		t.Errorf("version printed %q, want %q", strings.TrimSpace(out), version.String())
+	}
+	for _, want := range []string{"comptest ", "go1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("version output lacks %q: %s", want, out)
+		}
+	}
+}
+
+// TestDistributedEndToEnd drives the full CLI surface of the
+// distributed layer in-process: a -workers-remote coordinator, a
+// joined worker whose handshake carries the `comptest version`
+// identity string, and `run -coordinator` executing a campaign
+// through both.
+func TestDistributedEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrs := make(chan string, 2)
+	serveCtx, serveReady = ctx, func(a string) { addrs <- a }
+	defer func() { serveCtx, serveReady = nil, nil }()
+
+	done := make(chan error, 2)
+	go func() {
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-workers-remote", "-shard-units", "1"}, io.Discard)
+	}()
+	coord := "http://" + <-addrs
+	go func() {
+		done <- run([]string{"worker", "-join", coord, "-name", "node-a", "-workers", "2"}, io.Discard)
+	}()
+	<-addrs // the worker's own URL; registration already succeeded
+
+	// The registered worker must advertise exactly what `comptest
+	// version` prints — the handshake and the subcommand share
+	// internal/version.
+	versionOut, err := runCLI(t, "version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(coord + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleet struct {
+		Workers []struct {
+			Name    string `json:"name"`
+			Version string `json:"version"`
+			State   string `json:"state"`
+		} `json:"workers"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&fleet)
+	resp.Body.Close()
+	if err != nil || len(fleet.Workers) != 1 {
+		t.Fatalf("fleet: %v %+v", err, fleet)
+	}
+	w := fleet.Workers[0]
+	if w.Name != "node-a" || w.State != "live" {
+		t.Errorf("worker record: %+v", w)
+	}
+	if w.Version != strings.TrimSpace(versionOut) {
+		t.Errorf("handshake version %q != `comptest version` output %q", w.Version, strings.TrimSpace(versionOut))
+	}
+
+	// A 4-script campaign through `run -coordinator`, sharded 1 unit
+	// per shard onto the worker, merged back in script order. The
+	// -junit file must cover the remote campaign like a local one.
+	junit := filepath.Join(t.TempDir(), "remote.xml")
+	out, err := runCLI(t, "run", "-coordinator", coord, "-dut", "central_locking", "-stand", "full_lab", "-junit", junit)
+	if err != nil {
+		t.Fatalf("run -coordinator: %v\n%s", err, out)
+	}
+	if n := strings.Count(out, "PASS:"); n != 4 {
+		t.Errorf("remote campaign printed %d PASS lines, want 4:\n%s", n, out)
+	}
+	if data, err := os.ReadFile(junit); err != nil {
+		t.Errorf("remote -junit file: %v", err)
+	} else if n := strings.Count(string(data), "<testsuite name="); n != 4 {
+		t.Errorf("remote -junit file has %d testsuites, want 4", n)
+	}
+
+	// A faulted remote campaign must fail the CLI like a local one.
+	if _, err := runCLI(t, "run", "-coordinator", coord, "-fault", "stuck_off"); err == nil ||
+		!strings.Contains(err.Error(), "FAILED") {
+		t.Errorf("faulted remote campaign: %v", err)
+	}
+
+	cancel()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,841 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/comptest"
+	"repro/comptest/serve"
+	"repro/internal/report"
+)
+
+// Options configures a Coordinator. Zero values select the defaults.
+type Options struct {
+	// Serve configures the embedded job server (queue depth, worker
+	// pool, cache, retention). Its Executor field is owned by the
+	// coordinator and overwritten.
+	Serve serve.Options
+	// ShardUnits bounds the units per shard (default 4). Smaller
+	// shards spread wider and requeue cheaper; larger shards amortise
+	// dispatch overhead.
+	ShardUnits int
+	// LeaseTTL is how long a worker stays schedulable without a
+	// heartbeat (default 15s). Workers heartbeat at a third of this.
+	LeaseTTL time.Duration
+	// ShardTimeout bounds one remote shard execution before it is
+	// requeued elsewhere (default 2m).
+	ShardTimeout time.Duration
+	// MaxAttempts is how many workers a shard is tried on before the
+	// coordinator executes it locally itself (default 3).
+	MaxAttempts int
+	// Client performs coordinator→worker HTTP; nil builds one.
+	Client *http.Client
+
+	now func() time.Time // test clock for the registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShardUnits < 1 {
+		o.ShardUnits = 4
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 2 * time.Minute
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 3
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Coordinator is the distributed front of the campaign service: the
+// same job API as comptest/serve (it embeds a serve.Server), but jobs
+// execute by sharding their unit matrix over registered remote
+// workers. Campaign jobs are split into bounded chunks of scripts;
+// each chunk travels as an ordinary serve job (same wire format,
+// workbook shipped inline so the worker's content-addressed cache
+// parses it once per node) and the streamed per-unit NDJSON reports
+// merge back — exactly-once, in global unit order — into the job's
+// result log, byte-identical to a single-node run. Mutate and explore
+// jobs dispatch whole to one worker. With no live workers, everything
+// falls back to local execution: a coordinator alone behaves exactly
+// like a plain serve.Server.
+type Coordinator struct {
+	opts      Options
+	reg       *Registry
+	srv       *serve.Server
+	client    *http.Client
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds a Coordinator and its embedded job server.
+func New(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:   opts,
+		reg:    newRegistry(opts.LeaseTTL, opts.now),
+		client: opts.Client,
+		stop:   make(chan struct{}),
+	}
+	serveOpts := opts.Serve
+	serveOpts.Executor = c.execute
+	c.srv = serve.New(serveOpts)
+	// Lease expiry is time-based and has no event to broadcast on; a
+	// slow ticker wakes blocked acquires so they can re-evaluate
+	// liveness (and fall back to local execution when the fleet died).
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		tick := time.NewTicker(wakeEvery(opts.LeaseTTL))
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				c.reg.broadcast()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+func wakeEvery(ttl time.Duration) time.Duration {
+	if d := ttl / 4; d >= 50*time.Millisecond {
+		return d
+	}
+	return 50 * time.Millisecond
+}
+
+// Server exposes the embedded job server (for tests and embedding).
+func (c *Coordinator) Server() *serve.Server { return c.srv }
+
+// Registry exposes the worker registry.
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Close shuts the coordinator down: jobs are cancelled through the
+// embedded server (which propagates to in-flight shard dispatches),
+// the registry stops admitting workers, and the ticker drains.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		c.reg.close()
+		c.srv.Close()
+		close(c.stop)
+		c.wg.Wait()
+		c.client.CloseIdleConnections()
+	})
+}
+
+// Handler returns the coordinator API: the full serve job API plus
+// the worker registry endpoints.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", c.srv.Handler())
+	mux.HandleFunc("POST /v1/workers", c.handleRegister)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("DELETE /v1/workers/{id}", c.handleDeregister)
+	return mux
+}
+
+// ------------------------------------------------------------- handlers --
+
+func jsonOut(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func jsonErr(w http.ResponseWriter, code int, format string, args ...any) {
+	jsonOut(w, code, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		jsonErr(w, http.StatusBadRequest, "malformed registration: %v", err)
+		return
+	}
+	resp, err := c.reg.Register(req)
+	if err != nil {
+		// Protocol mismatch is a conflict between two healthy builds,
+		// not a malformed request.
+		jsonErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	jsonOut(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	jsonOut(w, http.StatusOK, struct {
+		Workers []WorkerInfo `json:"workers"`
+	}{c.reg.Snapshot()})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !c.reg.Heartbeat(r.PathValue("id")) {
+		jsonErr(w, http.StatusNotFound, "no worker %q (re-register)", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	c.reg.Deregister(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ------------------------------------------------------------ execution --
+
+// permanentError marks a dispatch failure that requeueing cannot fix
+// (the job itself is wrong, or the protocol was violated).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func permanentf(format string, args ...any) error {
+	return &permanentError{fmt.Errorf(format, args...)}
+}
+
+// errBusy: the worker's own admission control rejected the shard
+// (503). The worker is healthy — try another, don't mark it lost.
+var errBusy = errors.New("dist: worker queue full")
+
+// execute is the serve.Executor of the coordinator.
+func (c *Coordinator) execute(ctx context.Context, ex serve.Execution) (string, error) {
+	if ex.Spec.Kind == serve.KindCampaign {
+		return c.executeCampaign(ctx, ex)
+	}
+	return c.executeWhole(ctx, ex)
+}
+
+// shardSpec is one bounded chunk of a campaign's unit matrix. Units
+// are chunked contiguously, so shard-local line i is global unit
+// base+i — the sequence tag the merger dedups and orders on.
+type shardSpec struct {
+	base  int
+	names []string
+}
+
+func chunkShards(names []string, size int) []shardSpec {
+	var shards []shardSpec
+	for base := 0; base < len(names); base += size {
+		end := base + size
+		if end > len(names) {
+			end = len(names)
+		}
+		shards = append(shards, shardSpec{base: base, names: names[base:end]})
+	}
+	return shards
+}
+
+// progress tracks ShardStatus and publishes every change.
+type progress struct {
+	mu      sync.Mutex
+	st      serve.ShardStatus
+	workers map[string]bool
+	publish func(serve.ShardStatus)
+}
+
+func newProgress(total int, publish func(serve.ShardStatus)) *progress {
+	p := &progress{st: serve.ShardStatus{Total: total}, workers: map[string]bool{}, publish: publish}
+	p.push()
+	return p
+}
+
+func (p *progress) push() {
+	if p.publish == nil {
+		return
+	}
+	st := p.st
+	st.Workers = st.Workers[:0:0]
+	for id := range p.workers {
+		st.Workers = append(st.Workers, id)
+	}
+	sort.Strings(st.Workers)
+	p.publish(st)
+}
+
+func (p *progress) completed(workerID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.Completed++
+	p.workers[workerID] = true
+	p.push()
+}
+
+func (p *progress) requeued() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.Requeued++
+	p.push()
+}
+
+func (p *progress) local() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.Local++
+	p.st.Completed++
+	p.push()
+}
+
+// tally accumulates per-unit verdicts as lines merge; only accepted
+// (non-duplicate) lines count, so requeued shards cannot double-book.
+type tally struct {
+	mu                      sync.Mutex
+	passed, failed, errored int
+}
+
+// executeCampaign shards the campaign's script list and fans the
+// shards over the worker fleet.
+func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (string, error) {
+	scripts, err := ex.Art.Select(ex.Spec.Scripts)
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, len(scripts))
+	for i, sc := range scripts {
+		names[i] = sc.Name
+	}
+	shards := chunkShards(names, c.opts.ShardUnits)
+	prog := newProgress(len(shards), ex.OnShards)
+	merger := report.NewMerger(ex.Log)
+	tl := &tally{}
+
+	// A fatal shard error (permanent dispatch failure, local fallback
+	// failure) aborts the remaining shards through this child context;
+	// the JOB context stays intact so serve classifies the outcome as
+	// failed, not cancelled.
+	dctx, dcancel := context.WithCancel(ctx)
+	defer dcancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh shardSpec) {
+			defer wg.Done()
+			if err := c.runShard(dctx, ex, sh, merger, tl, prog); err != nil && dctx.Err() == nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				dcancel()
+			}
+		}(sh)
+	}
+	wg.Wait()
+
+	tl.mu.Lock()
+	st := serve.CampaignStatus{Units: len(names), Passed: tl.passed,
+		Failed: tl.failed, Errored: tl.errored}
+	tl.mu.Unlock()
+	// Skipped = units with no accounted outcome. The tally counts every
+	// accepted line — including ones still buffered behind a gap the
+	// failed job will never fill — so deriving Skipped from the tally
+	// (not from merger.Written()) keeps the four buckets summing to
+	// Units even on partial failures.
+	st.Skipped = st.Units - st.Passed - st.Failed - st.Errored
+	if ex.OnCampaign != nil {
+		ex.OnCampaign(st)
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	if firstErr != nil {
+		return "", firstErr
+	}
+	if err := merger.Err(); err != nil {
+		return "", err
+	}
+	if st.Passed == st.Units {
+		return "green", nil
+	}
+	return "red", nil
+}
+
+// runShard drives one shard to completion: acquire a worker, dispatch,
+// and on worker loss requeue on a survivor — the merger's sequence
+// dedup makes the retry exactly-once even when the dead worker already
+// delivered part of the shard. When no worker is live (or remote
+// attempts are exhausted) the coordinator executes the shard itself.
+func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shardSpec,
+	merger *report.Merger, tl *tally, prog *progress) error {
+	n := need{kind: serve.KindCampaign, dut: ex.Spec.DUT, stand: ex.Spec.Stand}
+	exclude := map[string]bool{}
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt >= c.opts.MaxAttempts {
+			prog.local()
+			return c.runShardLocal(ctx, ex, sh, merger, tl)
+		}
+		ls, err := c.reg.acquire(ctx, n, exclude)
+		if errors.Is(err, ErrNoWorkers) {
+			prog.local()
+			return c.runShardLocal(ctx, ex, sh, merger, tl)
+		}
+		if err != nil {
+			return err
+		}
+		derr := c.dispatchShard(ctx, ls, ex, sh, merger, tl)
+		c.reg.release(ls.id)
+		if derr == nil {
+			prog.completed(ls.id)
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var pe *permanentError
+		if errors.As(derr, &pe) {
+			return derr
+		}
+		if errors.Is(derr, errBusy) {
+			// The worker is healthy, its own admission control is just
+			// full (direct submissions compete for its queue). Neither
+			// exclude nor mark it lost — back off briefly and let the
+			// bounded attempt counter retry anywhere, including there.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		// The worker failed mid-dispatch: stop scheduling onto it
+		// until it heartbeats again, and never retry THIS shard on
+		// it — its next heartbeat must not win the shard back.
+		c.reg.MarkLost(ls.id)
+		exclude[ls.id] = true
+		prog.requeued()
+	}
+}
+
+// forward classifies one NDJSON line from a shard stream, rewrites
+// error-line sequence numbers (report.ErrorLine — a unit that produced
+// no report) to the global numbering, tallies the verdict and merges
+// the line. Duplicate sequences (requeue re-delivery) are dropped by
+// the merger and not tallied.
+func forward(seq int, line []byte, merger *report.Merger, tl *tally) error {
+	// line may alias a read buffer — never append to it in place.
+	nl := func(l []byte) []byte {
+		out := make([]byte, len(l)+1)
+		copy(out, l)
+		out[len(l)] = '\n'
+		return out
+	}
+	rep, derr := report.DecodeJSON(line)
+	if derr == nil {
+		accepted, err := merger.Add(seq, nl(line))
+		if err != nil {
+			return err
+		}
+		if accepted {
+			tl.mu.Lock()
+			if rep.Passed() {
+				tl.passed++
+			} else {
+				tl.failed++
+			}
+			tl.mu.Unlock()
+		}
+		return nil
+	}
+	el, err := report.DecodeErrorLine(line)
+	if err != nil {
+		return permanentf("dist: unrecognisable stream line (%v / %v): %.120s", derr, err, line)
+	}
+	el.Seq = seq
+	out, err := json.Marshal(el)
+	if err != nil {
+		return err
+	}
+	accepted, err := merger.Add(seq, nl(out))
+	if err != nil {
+		return err
+	}
+	if accepted {
+		tl.mu.Lock()
+		tl.errored++
+		tl.mu.Unlock()
+	}
+	return nil
+}
+
+// readLines consumes an NDJSON stream, invoking fn once per COMPLETE
+// (newline-terminated) line. A truncated final line — a worker dying
+// mid-write — is discarded, not surfaced: the shard requeue must
+// re-deliver that unit, never merge half a report. No line-length cap
+// (a bufio.Scanner token limit would make oversized reports fail
+// distributed but succeed single-node).
+func readLines(r io.Reader, fn func(line []byte) error) error {
+	br := bufio.NewReader(r)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == nil {
+			if err := fn(line[:len(line)-1]); err != nil {
+				return err
+			}
+			continue
+		}
+		if err == io.EOF {
+			return nil // any unterminated tail is dropped by design
+		}
+		return err
+	}
+}
+
+// dispatchShard runs one shard on one worker over the serve wire
+// format: POST the shard as a job (workbook inline — the worker's
+// content-addressed cache parses it once per node no matter how many
+// shards follow), stream its NDJSON, and merge each line under the
+// shard's global sequence numbers.
+func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Execution,
+	sh shardSpec, merger *report.Merger, tl *tally) error {
+	sctx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
+	defer cancel()
+
+	spec := ex.Spec
+	spec.Scripts = sh.names
+	spec.Workbook = string(ex.Art.Source)
+	spec.WorkbookName = ""
+	jobID, err := c.submit(sctx, ls.url, spec)
+	if err != nil {
+		return err
+	}
+	complete := false
+	defer func() {
+		if !complete {
+			// Cancel propagation: whether the job was cancelled or this
+			// shard is being requeued, the worker must stop simulating
+			// units nobody will merge. The job context may already be
+			// dead, so the DELETE gets its own short deadline.
+			c.cancelRemote(ls.url, jobID)
+		}
+	}()
+
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
+		ls.url+"/v1/jobs/"+jobID+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: stream shard from %s: %w", ls.id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: stream shard from %s: status %d", ls.id, resp.StatusCode)
+	}
+	idx := 0
+	if err := readLines(resp.Body, func(line []byte) error {
+		if idx >= len(sh.names) {
+			return permanentf("dist: worker %s streamed more lines than the shard has units (%d)", ls.id, len(sh.names))
+		}
+		if err := forward(sh.base+idx, line, merger, tl); err != nil {
+			return err
+		}
+		idx++
+		return nil
+	}); err != nil {
+		var pe *permanentError
+		if errors.As(err, &pe) || merger.Err() != nil {
+			return err
+		}
+		return fmt.Errorf("dist: shard stream from %s broke after %d/%d units: %w",
+			ls.id, idx, len(sh.names), err)
+	}
+	if idx < len(sh.names) {
+		// The stream ended cleanly but short: the remote job terminated
+		// without covering the shard. If the worker reports the job
+		// FAILED, a retry elsewhere fails identically — surface it.
+		if msg, failed := c.remoteFailure(ls.url, jobID); failed {
+			return permanentf("dist: worker %s failed the shard: %s", ls.id, msg)
+		}
+		return fmt.Errorf("dist: worker %s delivered %d/%d units", ls.id, idx, len(sh.names))
+	}
+	complete = true
+	return nil
+}
+
+// submit POSTs a job spec and returns the remote job ID. 503 maps to
+// errBusy (healthy admission control), 4xx to a permanent error.
+func (c *Coordinator) submit(ctx context.Context, baseURL string, spec serve.JobSpec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("dist: submit to %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return "", errBusy
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return "", permanentf("dist: worker rejected the shard (%d): %s", resp.StatusCode, bytes.TrimSpace(msg))
+	default:
+		return "", fmt.Errorf("dist: submit: status %d", resp.StatusCode)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", fmt.Errorf("dist: submit response: %w", err)
+	}
+	if st.ID == "" {
+		return "", fmt.Errorf("dist: submit response lacks a job id")
+	}
+	return st.ID, nil
+}
+
+// cancelRemote best-effort cancels a worker-side job.
+func (c *Coordinator) cancelRemote(baseURL, jobID string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, baseURL+"/v1/jobs/"+jobID, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// remoteStatus fetches a worker-side job status.
+func (c *Coordinator) remoteStatus(baseURL, jobID string) (serve.JobStatus, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+jobID, nil)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// remoteFailure reports whether the worker marked the job failed.
+func (c *Coordinator) remoteFailure(baseURL, jobID string) (string, bool) {
+	st, err := c.remoteStatus(baseURL, jobID)
+	if err != nil || st.State != serve.StateFailed {
+		return "", false
+	}
+	return st.Error, true
+}
+
+// lineForwarder adapts the local fallback's NDJSON sink to the merge
+// path: each Write is one newline-terminated line for shard-local unit
+// `idx`, forwarded under its global sequence number so local and
+// remote shards interleave correctly.
+type lineForwarder struct {
+	base   int
+	idx    int
+	merger *report.Merger
+	tl     *tally
+	err    error
+}
+
+func (f *lineForwarder) Write(p []byte) (int, error) {
+	if f.err != nil {
+		return 0, f.err
+	}
+	line := bytes.TrimSuffix(p, []byte("\n"))
+	if err := forward(f.base+f.idx, line, f.merger, f.tl); err != nil {
+		f.err = err
+		return 0, err
+	}
+	f.idx++
+	return len(p), nil
+}
+
+// runShardLocal executes a shard in-process — the fallback that keeps
+// a coordinator with no (surviving) workers behaving exactly like a
+// single-node server.
+func (c *Coordinator) runShardLocal(ctx context.Context, ex serve.Execution, sh shardSpec,
+	merger *report.Merger, tl *tally) error {
+	factory, err := comptest.FaultedFactory(ex.Spec.DUT, ex.Spec.Faults...)
+	if err != nil {
+		return err
+	}
+	scripts, err := ex.Art.Select(sh.names)
+	if err != nil {
+		return err
+	}
+	units := comptest.Cross(scripts, []string{ex.Spec.Stand}, "")
+	for i := range units {
+		units[i].Factory = factory
+		if ex.Observer != nil {
+			units[i].Observer = ex.Observer(sh.base + i)
+		}
+	}
+	fw := &lineForwarder{base: sh.base, merger: merger, tl: tl}
+	runner, err := comptest.NewRunner(
+		comptest.WithStand(ex.Spec.Stand),
+		comptest.WithParallelism(ex.Spec.Parallelism),
+		comptest.WithSink(comptest.Ordered(comptest.NDJSON(fw))),
+	)
+	if err != nil {
+		return err
+	}
+	if _, err := runner.Campaign(ctx, units); err != nil {
+		return err
+	}
+	return fw.err
+}
+
+// executeWhole dispatches a mutate or explore job in one piece to a
+// single worker and relays its stream verbatim. These engines stream
+// reports without per-unit sequence numbers, so a worker lost AFTER
+// lines were already relayed cannot be requeued exactly-once — the
+// job fails loudly instead of duplicating reports; a worker lost
+// BEFORE any line was relayed retries cleanly on a survivor.
+func (c *Coordinator) executeWhole(ctx context.Context, ex serve.Execution) (string, error) {
+	n := need{kind: ex.Spec.Kind, dut: ex.Spec.DUT, stand: ex.Spec.Stand}
+	exclude := map[string]bool{}
+	prog := newProgress(1, ex.OnShards)
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		ls, err := c.reg.acquire(ctx, n, exclude)
+		if errors.Is(err, ErrNoWorkers) {
+			prog.local()
+			return c.srv.ExecuteLocal(ctx, ex)
+		}
+		if err != nil {
+			return "", err
+		}
+		relayed := 0
+		verdict, derr := c.dispatchWhole(ctx, ls, ex, &relayed)
+		c.reg.release(ls.id)
+		if derr == nil {
+			prog.completed(ls.id)
+			return verdict, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		var pe *permanentError
+		if errors.As(derr, &pe) {
+			return "", derr
+		}
+		if relayed > 0 {
+			return "", fmt.Errorf("dist: worker %s lost after relaying %d reports of a %s job; "+
+				"resubmit the job (its stream has no unit sequence to dedup on)", ls.id, relayed, ex.Spec.Kind)
+		}
+		lastErr = derr
+		if errors.Is(derr, errBusy) {
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		c.reg.MarkLost(ls.id)
+		exclude[ls.id] = true
+		prog.requeued()
+	}
+	return "", fmt.Errorf("dist: %s job failed on %d workers: %w", ex.Spec.Kind, c.opts.MaxAttempts, lastErr)
+}
+
+func (c *Coordinator) dispatchWhole(ctx context.Context, ls lease, ex serve.Execution, relayed *int) (string, error) {
+	sctx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
+	defer cancel()
+	spec := ex.Spec
+	spec.Workbook = string(ex.Art.Source)
+	spec.WorkbookName = ""
+	jobID, err := c.submit(sctx, ls.url, spec)
+	if err != nil {
+		return "", err
+	}
+	complete := false
+	defer func() {
+		if !complete {
+			c.cancelRemote(ls.url, jobID)
+		}
+	}()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, ls.url+"/v1/jobs/"+jobID+"/stream", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("dist: stream from %s: %w", ls.id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("dist: stream from %s: status %d", ls.id, resp.StatusCode)
+	}
+	if err := readLines(resp.Body, func(line []byte) error {
+		if _, err := ex.Log.Write(append(append([]byte(nil), line...), '\n')); err != nil {
+			return err
+		}
+		*relayed++
+		return nil
+	}); err != nil {
+		return "", fmt.Errorf("dist: stream from %s broke after %d reports: %w", ls.id, *relayed, err)
+	}
+	st, err := c.remoteStatus(ls.url, jobID)
+	if err != nil {
+		return "", fmt.Errorf("dist: terminal status from %s: %w", ls.id, err)
+	}
+	switch st.State {
+	case serve.StateDone:
+	case serve.StateFailed:
+		return "", permanentf("dist: worker %s failed the job: %s", ls.id, st.Error)
+	default:
+		return "", fmt.Errorf("dist: remote job ended %s", st.State)
+	}
+	if st.Mutation != nil && ex.OnMutation != nil {
+		ex.OnMutation(*st.Mutation)
+	}
+	if st.Exploration != nil && ex.OnExploration != nil {
+		ex.OnExploration(*st.Exploration)
+	}
+	complete = true
+	return st.Verdict, nil
+}

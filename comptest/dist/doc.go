@@ -1,0 +1,53 @@
+// Package dist distributes campaign execution across remote workers:
+// a Coordinator in front of the comptest/serve job API shards each
+// campaign's unit matrix into bounded chunks and fans them out to a
+// fleet of Workers, merging the streamed per-unit reports back into
+// one ordered sequence that is byte-identical to a single-node run.
+//
+//	            POST /v1/jobs            POST /v1/jobs (shard: scripts subset)
+//	client ───────────────► Coordinator ───────────────► Worker (serve engine)
+//	                            │        ◄─── NDJSON ───     │
+//	       GET /v1/jobs/…/stream│   merge (ordered,          │ content-addressed
+//	client ◄────────────────────┘   exactly-once)            │ artifact cache
+//
+// The design leans entirely on two properties the repository already
+// guarantees: campaign units are independent (each gets a fresh stand
+// and DUT, so any unit can run on any node), and execution is
+// deterministic (the same unit produces the same report bytes
+// anywhere — which is what makes "byte-identical merge" a testable
+// contract rather than a hope).
+//
+// # Workers
+//
+// A worker (comptest worker -join URL) is nothing but a serve.Server
+// on its own listener plus a registration loop: it POSTs a handshake
+// to the coordinator's /v1/workers — advertised URL, capability lists
+// (kinds, DUTs, stands), capacity, and the build's version/protocol
+// (internal/version) — and then heartbeats to keep its lease alive. A
+// protocol mismatch is rejected at registration (409), so an
+// incompatible build fails before it can corrupt a merge. Shards
+// arrive as ordinary jobs over the ordinary wire format; the
+// workbook travels inline with every shard but the worker's
+// content-addressed artifact cache parses it once per node.
+//
+// # Sharding and the exactly-once merge
+//
+// The coordinator chunks a campaign's script list into shards of at
+// most Options.ShardUnits units. Chunks are contiguous, so line i of
+// a shard stream is global unit base+i; a report.Merger orders lines
+// by that global sequence, buffers early arrivals and drops
+// re-deliveries. That dedup is what makes failure handling simple: a
+// worker that dies mid-shard is marked lost and the WHOLE shard is
+// requeued on a survivor — units the dead worker already delivered
+// are dropped as duplicates, units it never reached merge from the
+// retry. After MaxAttempts remote tries (or with no live worker at
+// all) the coordinator executes the shard in-process, so a
+// coordinator alone degrades gracefully into exactly a single-node
+// serve.Server. Per-job cancellation propagates: cancelling the
+// coordinator job cancels every in-flight shard dispatch and sends a
+// best-effort DELETE for the remote jobs.
+//
+// Mutate and explore jobs dispatch whole to a single worker (their
+// streams carry no unit sequence to dedup on) and are retried only if
+// nothing was relayed yet.
+package dist

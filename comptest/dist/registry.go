@@ -1,0 +1,328 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/version"
+)
+
+// RegisterRequest is the body a worker POSTs to /v1/workers: the
+// coordinator↔worker handshake. URL is where the coordinator reaches
+// the worker's job API; Version/Protocol identify the build (see
+// internal/version) — a protocol mismatch is rejected outright, so an
+// incompatible worker fails at registration instead of corrupting a
+// merge mid-campaign. The capability lists bound what the coordinator
+// will schedule onto the worker; an empty list advertises support for
+// everything.
+type RegisterRequest struct {
+	Name     string   `json:"name,omitempty"`
+	URL      string   `json:"url"`
+	Version  string   `json:"version"`
+	Protocol int      `json:"protocol"`
+	Capacity int      `json:"capacity,omitempty"` // concurrent shards (default 1)
+	Kinds    []string `json:"kinds,omitempty"`
+	DUTs     []string `json:"duts,omitempty"`
+	Stands   []string `json:"stands,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration: the assigned worker ID
+// and the lease the worker must keep alive by heartbeating (a worker
+// silent for longer than LeaseMillis is not scheduled).
+type RegisterResponse struct {
+	ID          string `json:"id"`
+	LeaseMillis int64  `json:"lease_ms"`
+	Protocol    int    `json:"protocol"`
+}
+
+// WorkerInfo is the GET /v1/workers snapshot of one registered worker.
+type WorkerInfo struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	URL      string   `json:"url"`
+	Version  string   `json:"version"`
+	Protocol int      `json:"protocol"`
+	Capacity int      `json:"capacity"`
+	Active   int      `json:"active"` // shards currently leased to it
+	State    string   `json:"state"`  // live | lost
+	Kinds    []string `json:"kinds,omitempty"`
+	DUTs     []string `json:"duts,omitempty"`
+	Stands   []string `json:"stands,omitempty"`
+}
+
+// ErrNoWorkers reports that no registered live worker can execute the
+// requested work — the coordinator's cue to fall back to local
+// execution rather than queue forever.
+var ErrNoWorkers = errors.New("dist: no eligible live workers")
+
+type workerRec struct {
+	id       string
+	name     string
+	url      string
+	version  string
+	protocol int
+	capacity int
+	kinds    []string
+	duts     []string
+	stands   []string
+
+	lastSeen time.Time
+	lost     bool // marked after a failed dispatch or deregistration
+	active   int  // shards currently leased
+}
+
+// need describes what a shard requires of a worker.
+type need struct {
+	kind, dut, stand string
+}
+
+func capable(list []string, want string) bool {
+	if len(list) == 0 || want == "" {
+		return true
+	}
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry tracks the worker fleet on the coordinator: registration
+// with a protocol handshake, heartbeat leases, shard-slot accounting
+// and the pick policy (least-loaded live worker matching the need).
+type Registry struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ttl    time.Duration
+	now    func() time.Time // injectable clock for lease tests
+	seq    int
+	recs   map[string]*workerRec
+	order  []string // registration order, for stable snapshots
+	closed bool
+}
+
+func newRegistry(ttl time.Duration, now func() time.Time) *Registry {
+	if now == nil {
+		now = time.Now
+	}
+	r := &Registry{ttl: ttl, now: now, recs: map[string]*workerRec{}}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Register admits a worker after the protocol handshake. The same URL
+// re-registering replaces the old record (a restarted worker must not
+// leave a ghost twin behind).
+func (r *Registry) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.URL == "" {
+		return RegisterResponse{}, fmt.Errorf("dist: registration lacks a url")
+	}
+	if req.Protocol != version.Protocol {
+		return RegisterResponse{}, fmt.Errorf(
+			"dist: worker protocol %d (version %s) incompatible with coordinator protocol %d (version %s)",
+			req.Protocol, req.Version, version.Protocol, version.String())
+	}
+	if req.Capacity < 1 {
+		req.Capacity = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return RegisterResponse{}, fmt.Errorf("dist: coordinator is shutting down")
+	}
+	for id, rec := range r.recs {
+		if rec.url == req.URL {
+			delete(r.recs, id)
+			r.order = remove(r.order, id)
+		}
+	}
+	r.seq++
+	rec := &workerRec{
+		id:       fmt.Sprintf("w-%04d", r.seq),
+		name:     req.Name,
+		url:      req.URL,
+		version:  req.Version,
+		protocol: req.Protocol,
+		capacity: req.Capacity,
+		kinds:    req.Kinds,
+		duts:     req.DUTs,
+		stands:   req.Stands,
+		lastSeen: r.now(),
+	}
+	r.recs[rec.id] = rec
+	r.order = append(r.order, rec.id)
+	r.cond.Broadcast()
+	return RegisterResponse{ID: rec.id, LeaseMillis: r.ttl.Milliseconds(), Protocol: version.Protocol}, nil
+}
+
+func remove(ids []string, id string) []string {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Heartbeat renews a worker's lease. It revives a worker marked lost —
+// a transient network failure during dispatch should not banish a
+// healthy node forever. Returns false for an unknown ID (the worker
+// must re-register).
+func (r *Registry) Heartbeat(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.recs[id]
+	if !ok {
+		return false
+	}
+	rec.lastSeen = r.now()
+	rec.lost = false
+	r.cond.Broadcast()
+	return true
+}
+
+// Deregister removes a worker (graceful shutdown).
+func (r *Registry) Deregister(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.recs, id)
+	r.order = remove(r.order, id)
+	r.cond.Broadcast()
+}
+
+// MarkLost flags a worker after a failed dispatch so other shards stop
+// picking it until its next successful heartbeat.
+func (r *Registry) MarkLost(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec, ok := r.recs[id]; ok {
+		rec.lost = true
+	}
+	r.cond.Broadcast()
+}
+
+func (r *Registry) live(rec *workerRec) bool {
+	return !rec.lost && r.now().Sub(rec.lastSeen) <= r.ttl
+}
+
+// Snapshot lists every registered worker in registration order.
+func (r *Registry) Snapshot() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(r.order))
+	for _, id := range r.order {
+		rec := r.recs[id]
+		state := "lost"
+		if r.live(rec) {
+			state = "live"
+		}
+		out = append(out, WorkerInfo{
+			ID: rec.id, Name: rec.name, URL: rec.url, Version: rec.version,
+			Protocol: rec.protocol, Capacity: rec.capacity, Active: rec.active,
+			State:  state,
+			Kinds:  append([]string(nil), rec.kinds...),
+			DUTs:   append([]string(nil), rec.duts...),
+			Stands: append([]string(nil), rec.stands...),
+		})
+	}
+	return out
+}
+
+// LiveCount returns the number of workers currently within lease.
+func (r *Registry) LiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rec := range r.recs {
+		if r.live(rec) {
+			n++
+		}
+	}
+	return n
+}
+
+// lease is one acquired shard slot on a worker.
+type lease struct {
+	id  string
+	url string
+}
+
+// acquire blocks until a live, capability-matching, non-excluded
+// worker has a free shard slot, then reserves one. It returns
+// ErrNoWorkers as soon as NO eligible worker is live at all (free or
+// busy) — waiting would then be waiting for nobody. Callers must
+// release the lease. Cancellation is honoured through ctx; the
+// coordinator's ticker broadcasts periodically so silent lease expiry
+// also wakes waiters.
+func (r *Registry) acquire(ctx context.Context, n need, exclude map[string]bool) (lease, error) {
+	// A blocked Wait has no channel to select on; broadcast on ctx
+	// cancellation exactly like the serve result log does.
+	stop := context.AfterFunc(ctx, r.broadcast)
+	defer stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return lease{}, err
+		}
+		if r.closed {
+			return lease{}, fmt.Errorf("dist: coordinator is shutting down")
+		}
+		var best *workerRec
+		anyLive := false
+		// Stable iteration: order ties by registration, not map order,
+		// so scheduling is deterministic for a given fleet state.
+		for _, id := range r.order {
+			rec := r.recs[id]
+			if exclude[id] || !r.live(rec) {
+				continue
+			}
+			if !capable(rec.kinds, n.kind) || !capable(rec.duts, n.dut) || !capable(rec.stands, n.stand) {
+				continue
+			}
+			anyLive = true
+			if rec.active >= rec.capacity {
+				continue
+			}
+			if best == nil || rec.active < best.active {
+				best = rec
+			}
+		}
+		if best != nil {
+			best.active++
+			return lease{id: best.id, url: best.url}, nil
+		}
+		if !anyLive {
+			return lease{}, ErrNoWorkers
+		}
+		r.cond.Wait()
+	}
+}
+
+// release returns a shard slot.
+func (r *Registry) release(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec, ok := r.recs[id]; ok && rec.active > 0 {
+		rec.active--
+	}
+	r.cond.Broadcast()
+}
+
+func (r *Registry) broadcast() {
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (r *Registry) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}

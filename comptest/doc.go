@@ -44,5 +44,11 @@
 // Ordered); NDJSON writes each result as one report.Report JSON line,
 // the wire format of the comptest/serve campaign-execution service —
 // a long-lived HTTP job API that runs campaigns, mutation matrices
-// and exploration as queued jobs with live report streaming.
+// and exploration as queued jobs with live report streaming. The
+// comptest/dist subpackage scales that service past one node: a
+// coordinator shards campaign unit matrices over registered remote
+// workers (comptest worker -join) and merges the streamed reports
+// back exactly-once, in unit order, byte-identical to a single-node
+// run — unit independence makes the matrix embarrassingly shardable,
+// determinism makes the merge verifiable.
 package comptest

@@ -3,6 +3,7 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -20,6 +21,33 @@ type Artifact struct {
 	Key     string
 	Suite   *comptest.Suite
 	Scripts []*script.Script
+	// Source is the exact workbook text the artifact was built from —
+	// what a distributing executor ships to remote workers, whose own
+	// content-addressed caches then parse it once per node.
+	Source []byte
+}
+
+// Select returns the artifact's generated scripts, or — when names is
+// non-empty — the named subset in the given order. Unknown names are
+// an error: a shard spec naming a script the workbook does not
+// generate is a protocol bug, not an empty shard.
+func (a *Artifact) Select(names []string) ([]*script.Script, error) {
+	if len(names) == 0 {
+		return a.Scripts, nil
+	}
+	byName := make(map[string]*script.Script, len(a.Scripts))
+	for _, sc := range a.Scripts {
+		byName[sc.Name] = sc
+	}
+	out := make([]*script.Script, 0, len(names))
+	for _, n := range names {
+		sc, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("workbook generates no script %q", n)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
 }
 
 // Cache is the content-addressed artifact cache of the service:
@@ -95,7 +123,8 @@ func (c *Cache) Load(workbook []byte) (*Artifact, error) {
 	if err == nil {
 		var scripts []*script.Script
 		if scripts, err = suite.GenerateScripts(); err == nil {
-			e.art = &Artifact{Key: hex.EncodeToString(key[:]), Suite: suite, Scripts: scripts}
+			e.art = &Artifact{Key: hex.EncodeToString(key[:]), Suite: suite, Scripts: scripts,
+				Source: append([]byte(nil), workbook...)}
 		}
 	}
 	e.err = err

@@ -35,6 +35,12 @@
 //     reported as SKIP — the same semantics as an operator abort on
 //     real hardware.
 //
+// Execution itself is pluggable: Options.Executor replaces the
+// in-process engines while keeping the queue, cache, status and
+// stream API intact — the seam comptest/dist uses to shard campaign
+// jobs across remote workers (a JobSpec's Scripts field selects the
+// shard's script subset; ShardStatus reports distribution progress).
+//
 // The serve CLI subcommand (cmd/comptest) wraps this package; tests
 // drive it through net/http/httptest.
 package serve

@@ -35,6 +35,13 @@ type JobSpec struct {
 	// Stand is the stand profile. Defaults to the DUT's known-green
 	// stand (mutation.DefaultStand).
 	Stand string `json:"stand,omitempty"`
+	// Scripts, when non-empty, restricts a campaign job to the named
+	// generated scripts of the workbook, in the given order. This is
+	// the shard selector of the distributed layer (comptest/dist): a
+	// coordinator splits a campaign's script list into chunks and
+	// submits each chunk as an ordinary job carrying the same workbook
+	// bytes — which the worker's artifact cache parses only once.
+	Scripts []string `json:"scripts,omitempty"`
 	// Faults are injected into every campaign unit's DUT instance
 	// (campaign kind only).
 	Faults []string `json:"faults,omitempty"`
@@ -64,6 +71,9 @@ func (sp *JobSpec) normalize() (string, error) {
 	}
 	if len(sp.Faults) > 0 && sp.Kind != KindCampaign {
 		return "", fmt.Errorf("faults only apply to campaign jobs")
+	}
+	if len(sp.Scripts) > 0 && sp.Kind != KindCampaign {
+		return "", fmt.Errorf("scripts only apply to campaign jobs")
 	}
 	if len(sp.Oracle) > 0 && sp.Kind != KindExplore {
 		return "", fmt.Errorf("oracle only applies to explore jobs")
@@ -139,6 +149,19 @@ type ExplorationStatus struct {
 	CoverageKeys int `json:"coverage_keys"`
 }
 
+// ShardStatus summarises the distributed execution of a job: how its
+// unit matrix was chunked, how far dispatch has progressed, and how
+// often shards had to be requeued onto surviving workers. Only set on
+// servers executing through a distributing Executor (comptest/dist).
+type ShardStatus struct {
+	Total     int `json:"total"`     // shards the unit matrix was split into
+	Completed int `json:"completed"` // shards fully merged
+	Requeued  int `json:"requeued"`  // dispatch attempts retried on another worker
+	Local     int `json:"local"`     // shards executed by the coordinator's local fallback
+	// Workers lists the distinct worker IDs that completed shards.
+	Workers []string `json:"workers,omitempty"`
+}
+
 // JobStatus is the GET /v1/jobs/{id} response body.
 type JobStatus struct {
 	ID    string `json:"id"`
@@ -157,6 +180,7 @@ type JobStatus struct {
 	Campaign    *CampaignStatus    `json:"campaign,omitempty"`
 	Mutation    *MutationStatus    `json:"mutation,omitempty"`
 	Exploration *ExplorationStatus `json:"exploration,omitempty"`
+	Shards      *ShardStatus       `json:"shards,omitempty"`
 }
 
 // Job is one submitted execution, owned by the server.
@@ -176,6 +200,7 @@ type Job struct {
 	campaign    *CampaignStatus
 	mutation    *MutationStatus
 	exploration *ExplorationStatus
+	shards      *ShardStatus
 }
 
 // currentState reads the state without the full Status snapshot —
@@ -238,6 +263,11 @@ func (j *Job) Status() JobStatus {
 	if j.exploration != nil {
 		e := *j.exploration
 		st.Exploration = &e
+	}
+	if j.shards != nil {
+		sh := *j.shards
+		sh.Workers = append([]string(nil), j.shards.Workers...)
+		st.Shards = &sh
 	}
 	return st
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
@@ -36,6 +37,41 @@ type Options struct {
 	// does not grow without bound. Queued and running jobs are never
 	// evicted.
 	Retention int
+	// Executor, when non-nil, replaces the built-in local engines: a
+	// dequeued job is handed to it instead of being run in-process.
+	// This is the seam the distributed coordinator (comptest/dist)
+	// plugs into — the queue, admission control, result log, status
+	// and stream API are unchanged; only WHERE the units execute
+	// moves. An Executor that wants the local behaviour for some jobs
+	// calls Server.ExecuteLocal.
+	Executor Executor
+}
+
+// Executor runs one job to completion, streaming NDJSON result lines
+// to ex.Log and reporting summaries through the ex callbacks. The
+// returned verdict ("green"/"red") applies when err is nil; ctx
+// cancellation must stop the work (the server maps it to the
+// cancelled state).
+type Executor func(ctx context.Context, ex Execution) (verdict string, err error)
+
+// Execution is everything an Executor needs to run one job. Log
+// receives exactly one Write per NDJSON line (the comptest.NDJSON
+// contract); the On* callbacks publish summaries into the job status
+// and may each be called multiple times (last call wins).
+type Execution struct {
+	Spec JobSpec
+	Art  *Artifact
+	Log  io.Writer
+
+	OnCampaign    func(CampaignStatus)
+	OnMutation    func(MutationStatus)
+	OnExploration func(ExplorationStatus)
+	OnShards      func(ShardStatus)
+
+	// Observer, when non-nil, supplies a per-unit trace observer for
+	// campaign executions (the server's test hook, threaded through so
+	// a custom Executor's local fallback keeps the same seam).
+	Observer func(unit int) stand.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -206,6 +242,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	art, err := s.cache.Load([]byte(wb))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "workbook: %s", trimPrefix(err))
+		return
+	}
+	// Shard selectors must name real scripts; failing the submission
+	// beats failing the job after it was queued.
+	if _, err := art.Select(spec.Scripts); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", trimPrefix(err))
 		return
 	}
 
@@ -394,7 +436,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // ------------------------------------------------------------- execution --
 
-// runJob executes one job on a worker goroutine.
+// runJob executes one job on a worker goroutine, through the
+// configured Executor (default: the local engines).
 func (s *Server) runJob(job *Job) {
 	defer job.cancel() // release the context's resources either way
 	defer s.evictTerminal()
@@ -404,18 +447,40 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.setState(StateRunning)
 
-	var verdict string
-	var err error
-	switch job.spec.Kind {
-	case KindCampaign:
-		verdict, err = s.runCampaign(job)
-	case KindMutate:
-		verdict, err = s.runMutate(job)
-	case KindExplore:
-		verdict, err = s.runExplore(job)
-	default: // unreachable: normalize validated the kind
-		err = fmt.Errorf("unknown kind %q", job.spec.Kind)
+	ex := Execution{
+		Spec: job.spec,
+		Art:  job.art,
+		Log:  job.log,
+		OnCampaign: func(c CampaignStatus) {
+			job.mu.Lock()
+			job.campaign = &c
+			job.mu.Unlock()
+		},
+		OnMutation: func(m MutationStatus) {
+			job.mu.Lock()
+			job.mutation = &m
+			job.mu.Unlock()
+		},
+		OnExploration: func(e ExplorationStatus) {
+			job.mu.Lock()
+			job.exploration = &e
+			job.mu.Unlock()
+		},
+		OnShards: func(sh ShardStatus) {
+			job.mu.Lock()
+			job.shards = &sh
+			job.mu.Unlock()
+		},
 	}
+	if s.observe != nil {
+		ex.Observer = func(unit int) stand.Observer { return s.observe(job, unit) }
+	}
+
+	exec := s.opts.Executor
+	if exec == nil {
+		exec = s.ExecuteLocal
+	}
+	verdict, err := exec(job.ctx, ex)
 	switch {
 	case job.ctx.Err() != nil:
 		job.finish(StateCancelled, "", "cancelled")
@@ -426,34 +491,54 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
+// ExecuteLocal runs the job with the built-in in-process engines —
+// the default Executor, and the fallback a distributing Executor uses
+// when no remote workers are available.
+func (s *Server) ExecuteLocal(ctx context.Context, ex Execution) (string, error) {
+	switch ex.Spec.Kind {
+	case KindCampaign:
+		return s.runCampaign(ctx, ex)
+	case KindMutate:
+		return s.runMutate(ctx, ex)
+	case KindExplore:
+		return s.runExplore(ctx, ex)
+	}
+	// Unreachable from the API: normalize validated the kind.
+	return "", fmt.Errorf("unknown kind %q", ex.Spec.Kind)
+}
+
 // runCampaign fans the cached scripts over one stand as a single
 // Campaign, streaming every report to the job log in unit order.
-func (s *Server) runCampaign(job *Job) (string, error) {
-	factory, err := comptest.FaultedFactory(job.spec.DUT, job.spec.Faults...)
+func (s *Server) runCampaign(ctx context.Context, ex Execution) (string, error) {
+	factory, err := comptest.FaultedFactory(ex.Spec.DUT, ex.Spec.Faults...)
 	if err != nil {
 		return "", err
 	}
-	units := comptest.Cross(job.art.Scripts, []string{job.spec.Stand}, "")
+	scripts, err := ex.Art.Select(ex.Spec.Scripts)
+	if err != nil {
+		return "", err
+	}
+	units := comptest.Cross(scripts, []string{ex.Spec.Stand}, "")
 	for i := range units {
 		units[i].Factory = factory
-		if s.observe != nil {
-			units[i].Observer = s.observe(job, i)
+		if ex.Observer != nil {
+			units[i].Observer = ex.Observer(i)
 		}
 	}
-	sink := comptest.NDJSON(job.log)
+	sink := comptest.NDJSON(ex.Log)
 	runner, err := comptest.NewRunner(
-		comptest.WithStand(job.spec.Stand),
-		comptest.WithParallelism(job.spec.Parallelism),
+		comptest.WithStand(ex.Spec.Stand),
+		comptest.WithParallelism(ex.Spec.Parallelism),
 		comptest.WithSink(comptest.Ordered(sink)),
 	)
 	if err != nil {
 		return "", err
 	}
-	sum, err := runner.Campaign(job.ctx, units)
-	job.mu.Lock()
-	job.campaign = &CampaignStatus{Units: sum.Units, Passed: sum.Passed,
-		Failed: sum.Failed, Errored: sum.Errored, Skipped: sum.Skipped}
-	job.mu.Unlock()
+	sum, err := runner.Campaign(ctx, units)
+	if ex.OnCampaign != nil {
+		ex.OnCampaign(CampaignStatus{Units: sum.Units, Passed: sum.Passed,
+			Failed: sum.Failed, Errored: sum.Errored, Skipped: sum.Skipped})
+	}
 	if err != nil {
 		return "", err
 	}
@@ -465,19 +550,19 @@ func (s *Server) runCampaign(job *Job) (string, error) {
 
 // runMutate executes the kill matrix of the job's suite, streaming
 // baseline and mutant reports as they complete.
-func (s *Server) runMutate(job *Job) (string, error) {
-	plan, err := mutation.Enumerate(job.spec.DUT, job.spec.Stand, job.art.Suite)
+func (s *Server) runMutate(ctx context.Context, ex Execution) (string, error) {
+	plan, err := mutation.Enumerate(ex.Spec.DUT, ex.Spec.Stand, ex.Art.Suite)
 	if err != nil {
 		return "", err
 	}
-	mat, err := mutation.Run(job.ctx, plan, mutation.Options{
-		Parallelism: job.spec.Parallelism,
-		Sink:        comptest.NDJSON(job.log),
+	mat, err := mutation.Run(ctx, plan, mutation.Options{
+		Parallelism: ex.Spec.Parallelism,
+		Sink:        comptest.NDJSON(ex.Log),
 	})
 	if err != nil {
 		return "", err
 	}
-	st := &MutationStatus{Mutants: len(mat.Outcomes)}
+	st := MutationStatus{Mutants: len(mat.Outcomes)}
 	for _, o := range mat.Outcomes {
 		switch {
 		case o.Err != nil:
@@ -488,9 +573,9 @@ func (s *Server) runMutate(job *Job) (string, error) {
 			st.Survived++
 		}
 	}
-	job.mu.Lock()
-	job.mutation = st
-	job.mu.Unlock()
+	if ex.OnMutation != nil {
+		ex.OnMutation(st)
+	}
 	if st.Errored > 0 {
 		return "red", nil
 	}
@@ -499,29 +584,27 @@ func (s *Server) runMutate(job *Job) (string, error) {
 
 // runExplore runs coverage-guided exploration, streaming every stand
 // execution's report.
-func (s *Server) runExplore(job *Job) (string, error) {
-	ex, err := explore.New(job.art.Suite, explore.Options{
-		DUT:         job.spec.DUT,
-		Stand:       job.spec.Stand,
-		Seed:        job.spec.Seed,
-		Budget:      job.spec.Budget,
-		Parallelism: job.spec.Parallelism,
-		Oracle:      job.spec.Oracle,
-		Sink:        comptest.NDJSON(job.log),
+func (s *Server) runExplore(ctx context.Context, ex Execution) (string, error) {
+	eng, err := explore.New(ex.Art.Suite, explore.Options{
+		DUT:         ex.Spec.DUT,
+		Stand:       ex.Spec.Stand,
+		Seed:        ex.Spec.Seed,
+		Budget:      ex.Spec.Budget,
+		Parallelism: ex.Spec.Parallelism,
+		Oracle:      ex.Spec.Oracle,
+		Sink:        comptest.NDJSON(ex.Log),
 	})
 	if err != nil {
 		return "", err
 	}
-	res, err := ex.Run(job.ctx)
-	if res != nil {
-		job.mu.Lock()
-		job.exploration = &ExplorationStatus{
+	res, err := eng.Run(ctx)
+	if res != nil && ex.OnExploration != nil {
+		ex.OnExploration(ExplorationStatus{
 			Candidates:   res.Candidates,
 			Executions:   res.Executions,
 			Scenarios:    res.Corpus.Len(),
 			CoverageKeys: res.Coverage.Len(),
-		}
-		job.mu.Unlock()
+		})
 	}
 	if err != nil {
 		return "", err

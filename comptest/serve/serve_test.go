@@ -465,6 +465,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown workbook name", `{"workbook_name":"toaster"}`},
 		{"negative parallelism", `{"parallelism":-1}`},
 		{"garbage workbook", `{"workbook":"not a workbook"}`},
+		{"scripts on mutate", `{"kind":"mutate","scripts":["InteriorIllumination"]}`},
+		{"unknown script in shard selector", `{"kind":"campaign","scripts":["Ghost"]}`},
 	}
 	for _, tc := range cases {
 		if _, code := ts.submitRaw(t, tc.spec); code != http.StatusBadRequest {

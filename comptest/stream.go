@@ -24,23 +24,16 @@ type NDJSONSink struct {
 // NDJSON builds a streaming NDJSON sink over w.
 func NDJSON(w io.Writer) *NDJSONSink { return &NDJSONSink{w: w} }
 
-// jobError is the NDJSON shape of a unit that never produced a report.
-type jobError struct {
-	Seq    int    `json:"seq"`
-	Script string `json:"script,omitempty"`
-	Stand  string `json:"stand,omitempty"`
-	Error  string `json:"error"`
-}
-
 // Emit implements Sink. The first write or encode failure latches into
-// Err; later results are dropped so a broken pipe does not spam.
+// Err; later results are dropped so a broken pipe does not spam. Units
+// that never produced a report travel as report.ErrorLine objects.
 func (s *NDJSONSink) Emit(r Result) {
 	if s.err != nil {
 		return
 	}
 	var line []byte
 	if r.Err != nil {
-		e := jobError{Seq: r.Seq, Stand: r.Unit.Stand, Error: r.Err.Error()}
+		e := report.ErrorLine{Seq: r.Seq, Stand: r.Unit.Stand, Error: r.Err.Error()}
 		if r.Unit.Script != nil {
 			e.Script = r.Unit.Script.Name
 		}

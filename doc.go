@@ -10,9 +10,13 @@
 // test-strength reports) and coverage-guided scenario exploration in
 // comptest/explore (seeded random-walk generation, behavioural
 // coverage, shrinking, promotion of discovered scenarios into
-// workbook tests) and the campaign-execution service in
+// workbook tests), the campaign-execution service in
 // comptest/serve (HTTP JSON job API, bounded queue + worker pool,
-// content-addressed artifact cache, NDJSON report streaming). The
+// content-addressed artifact cache, NDJSON report streaming), and
+// distributed execution in comptest/dist (a coordinator shards
+// campaign unit matrices across registered remote workers —
+// heartbeat leases, shard requeue on node loss, exactly-once ordered
+// merge byte-identical to a single-node run). The
 // building blocks live under internal/, the command line tools under
 // cmd/comptest and cmd/benchjson, runnable examples under examples/,
 // and bench_test.go regenerates every table and figure of the paper.

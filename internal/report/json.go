@@ -39,6 +39,31 @@ type jsonReport struct {
 	Steps  []jsonStep `json:"steps"`
 }
 
+// ErrorLine is the NDJSON wire shape of a campaign unit that produced
+// no report (unknown stand, stand construction failure, …): the
+// comptest.NDJSON sink emits it, the distributed merge layer rewrites
+// its Seq to the global unit numbering, and stream consumers detect it
+// by failing DecodeJSON first. One definition shared by all three so
+// the wire format cannot drift apart silently.
+type ErrorLine struct {
+	Seq    int    `json:"seq"`
+	Script string `json:"script,omitempty"`
+	Stand  string `json:"stand,omitempty"`
+	Error  string `json:"error"`
+}
+
+// DecodeErrorLine parses one ErrorLine, rejecting unknown fields (a
+// report line must not half-decode as an error line).
+func DecodeErrorLine(data []byte) (ErrorLine, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var el ErrorLine
+	if err := dec.Decode(&el); err != nil {
+		return ErrorLine{}, fmt.Errorf("report: decode error line: %v", err)
+	}
+	return el, nil
+}
+
 // ParseVerdict is the inverse of Verdict.String.
 func ParseVerdict(s string) (Verdict, error) {
 	switch s {
