@@ -1,0 +1,92 @@
+// Command comptest-lint is the repo's self-analysis multichecker: it
+// runs the custom Go analyzers from internal/golint (nodeterminism,
+// ctxpath, guardedfield) over the packages named on the command line
+// and exits nonzero if any diagnostic survives. CI runs it over ./...
+// next to `go vet`; the repo is expected to stay clean, with deliberate
+// exceptions suppressed in source via "lint:ignore <analyzer> reason"
+// comments.
+//
+// Usage:
+//
+//	comptest-lint [-list] [-json] [packages ...]
+//
+// Packages default to ./... in the current directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/goanalysis"
+	"repro/internal/golint"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "comptest-lint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("comptest-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: comptest-lint [-list] [-json] [packages ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	analyzers := golint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%s: %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goanalysis.Load(".", patterns...)
+	if err != nil {
+		return err
+	}
+	diags, err := goanalysis.Analyze(pkgs, analyzers)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		type diagJSON struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		js := make([]diagJSON, 0, len(diags))
+		for _, d := range diags {
+			js = append(js, diagJSON{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%d finding(s)", len(diags))
+	}
+	return nil
+}

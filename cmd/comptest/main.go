@@ -6,7 +6,8 @@
 // Usage:
 //
 //	comptest gen     -workbook FILE [-test NAME] [-out DIR]
-//	comptest lint    -workbook FILE
+//	comptest lint    -workbook FILE [-format text|json]
+//	comptest vet     [-format text|json|sarif] [-severity S] [-baseline FILE] [-builtins] [WORKBOOK...]
 //	comptest run     -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE]
 //	comptest mutate  [-workbook FILE] [-dut NAME] [-all] [-parallel N] [-format text|json]
 //	comptest explore [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N] [-oracle LIST] [-promote FILE] [-format text|json]
@@ -37,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -87,6 +89,8 @@ func run(args []string, out io.Writer) error {
 		return cmdGen(args[1:], out)
 	case "lint":
 		return cmdLint(args[1:], out)
+	case "vet":
+		return cmdVet(args[1:], out)
 	case "run":
 		return cmdRun(args[1:], out)
 	case "mutate":
@@ -121,7 +125,12 @@ func usage(out io.Writer) {
 
 subcommands:
   gen    -workbook FILE [-test NAME] [-out DIR]    generate XML test scripts
-  lint   -workbook FILE                            validate a workbook
+  lint   -workbook FILE [-format text|json]        validate a workbook (superseded by vet;
+                                                   the text layout is kept for one release)
+  vet    [-format text|json|sarif] [-severity S] [-baseline FILE] [-write-baseline FILE]
+         [-killmatrix FILE] [-builtins] [WORKBOOK...]
+                                                   static analysis over workbooks; exits
+                                                   nonzero on error findings not in the baseline
   run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE] [-coordinator URL]
   mutate [-workbook FILE] [-dut NAME] [-stand NAME] [-all] [-parallel N] [-format text|json]
                                                    mutation kill matrix + test-strength report
@@ -213,9 +222,14 @@ func cmdGen(args []string, out io.Writer) error {
 	return nil
 }
 
+// cmdLint validates one workbook and reports findings through the
+// analyzer engine. Deprecated in favour of cmdVet — the default text
+// layout is kept unchanged for one release; use `comptest vet` for
+// positions, SARIF and baseline ratcheting.
 func cmdLint(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
 	workbook := fs.String("workbook", "", "workbook file (default: built-in paper workbook)")
+	format := fs.String("format", "text", "output format: text|json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -233,10 +247,186 @@ func cmdLint(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "%s: OK — %d signals, %d statuses, %d tests, %d generated scripts\n",
-		name, suite.Signals.Len(), suite.Statuses.Len(), len(suite.Tests), len(scripts))
-	for _, f := range lint.Check(suite.Signals, suite.Statuses, suite.Tests) {
-		fmt.Fprintln(out, " ", f)
+	res, err := lint.Run(lintSuite(suite, "", ""), lint.Options{})
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		fmt.Fprintf(out, "%s: OK — %d signals, %d statuses, %d tests, %d generated scripts\n",
+			name, suite.Signals.Len(), suite.Statuses.Len(), len(suite.Tests), len(scripts))
+		// The historical layout: findings indented, highest severity
+		// first (stable within a severity).
+		sorted := append([]lint.Finding(nil), res.Findings...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Severity > sorted[j].Severity })
+		for _, f := range sorted {
+			fmt.Fprintln(out, " ", f)
+		}
+	case "json":
+		rep := &lint.Report{Workbooks: []lint.WorkbookReport{{
+			File: name, Findings: res.Findings, Suppressed: len(res.Suppressed),
+		}}}
+		if rep.Workbooks[0].Findings == nil {
+			rep.Workbooks[0].Findings = []lint.Finding{}
+		}
+		if err := lint.WriteJSON(out, rep); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("lint: unknown format %q (want text or json)", *format)
+	}
+	if max, ok := res.MaxSeverity(); ok && max >= lint.Error {
+		return fmt.Errorf("lint: %d error finding(s) in %s", len(findingsAtLeast(res.Findings, lint.Error)), name)
+	}
+	return nil
+}
+
+// lintSuite assembles the static-analysis input for one loaded suite:
+// the cross-validated artefacts plus the raw workbook (suppression
+// directives), the saved kill matrix (weak-check) and the default
+// stand-profile environments.
+func lintSuite(suite *comptest.Suite, path, killmatrix string) *lint.Suite {
+	ls := &lint.Suite{
+		Signals:  suite.Signals,
+		Statuses: suite.Statuses,
+		Tests:    suite.Tests,
+		Workbook: suite.Workbook,
+	}
+	// The kill matrix is taken from -killmatrix, or from the sidecar
+	// <workbook>.kills.json written by `comptest mutate -format json`.
+	if killmatrix == "" && path != "" {
+		if sidecar := path + ".kills.json"; fileExists(sidecar) {
+			killmatrix = sidecar
+		}
+	}
+	if killmatrix != "" {
+		if k, err := lint.ReadKillMatrixFile(killmatrix); err == nil {
+			ls.Kills = k
+		}
+	}
+	return ls
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
+}
+
+func findingsAtLeast(fs []lint.Finding, min lint.Severity) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range fs {
+		if f.Severity >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// cmdVet runs the full static-analysis engine over one or more workbook
+// files (positional arguments; the built-in paper workbook when none
+// are given) and fails on error-severity findings the baseline does not
+// cover.
+func cmdVet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	format := fs.String("format", "text", "output format: text|json|sarif")
+	severity := fs.String("severity", "info", "minimum severity to report: info|warning|error")
+	baseline := fs.String("baseline", "", "baseline file; covered findings are dropped (ratchet)")
+	writeBaseline := fs.String("write-baseline", "", "write the surviving findings as a new baseline and exit 0")
+	killmatrix := fs.String("killmatrix", "", "mutation strength JSON for weak-check (default: <workbook>.kills.json if present)")
+	builtins := fs.Bool("builtins", false, "also vet every registered DUT's built-in workbook")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	minSev, err := lint.ParseSeverity(*severity)
+	if err != nil {
+		return err
+	}
+	var base *lint.Baseline
+	if *baseline != "" {
+		if base, err = lint.ReadBaselineFile(*baseline); err != nil {
+			return err
+		}
+	}
+
+	// Targets: the workbook files named on the command line, the
+	// built-in paper workbook when nothing is named, and with -builtins
+	// every registered DUT's embedded workbook.
+	type target struct {
+		path string // file path; "" for embedded workbooks
+		name string // report label; "" defers to loadWorkbook
+		wb   string // embedded workbook text used when path == ""
+	}
+	var targets []target
+	for _, p := range fs.Args() {
+		targets = append(targets, target{path: p, wb: paper.Workbook})
+	}
+	if len(targets) == 0 && !*builtins {
+		targets = append(targets, target{wb: paper.Workbook})
+	}
+	if *builtins {
+		for _, dut := range comptest.DUTNames() {
+			wb, err := comptest.BuiltinWorkbook(dut)
+			if err != nil {
+				return err
+			}
+			targets = append(targets, target{name: "builtin:" + dut, wb: wb})
+		}
+	}
+
+	rep := &lint.Report{}
+	var all []lint.Finding
+	for _, tgt := range targets {
+		suite, name, err := loadWorkbook(tgt.path, tgt.wb)
+		if err != nil {
+			return err
+		}
+		if tgt.name != "" {
+			name = tgt.name
+		}
+		res, err := lint.Run(lintSuite(suite, tgt.path, *killmatrix), lint.Options{MinSeverity: minSev})
+		if err != nil {
+			return err
+		}
+		findings := res.Findings
+		if base != nil {
+			findings = base.Apply(findings)
+		}
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		rep.Workbooks = append(rep.Workbooks, lint.WorkbookReport{
+			File: name, Findings: findings, Suppressed: len(res.Suppressed),
+		})
+		all = append(all, findings...)
+	}
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(all)
+		if err := lint.WriteBaselineFile(*writeBaseline, b); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d entries)\n", *writeBaseline, len(b.Entries))
+		return nil
+	}
+
+	switch *format {
+	case "text":
+		if err := lint.WriteText(out, rep); err != nil {
+			return err
+		}
+	case "json":
+		if err := lint.WriteJSON(out, rep); err != nil {
+			return err
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(out, rep); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("vet: unknown format %q (want text, json or sarif)", *format)
+	}
+	if errs := findingsAtLeast(all, lint.Error); len(errs) > 0 {
+		return fmt.Errorf("vet: %d new error finding(s)", len(errs))
 	}
 	return nil
 }

@@ -50,4 +50,6 @@
 // Mutate and explore jobs dispatch whole to a single worker (their
 // streams carry no unit sequence to dedup on) and are retried only if
 // nothing was relayed yet.
+//
+//lint:deterministic
 package dist

@@ -107,7 +107,7 @@ type Registry struct {
 
 func newRegistry(ttl time.Duration, now func() time.Time) *Registry {
 	if now == nil {
-		now = time.Now
+		now = time.Now // lint:ignore nodeterminism lease expiry is wall-clock by design; tests inject a fake clock
 	}
 	r := &Registry{ttl: ttl, now: now, recs: map[string]*workerRec{}}
 	r.cond = sync.NewCond(&r.mu)

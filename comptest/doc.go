@@ -51,4 +51,13 @@
 // back exactly-once, in unit order, byte-identical to a single-node
 // run — unit independence makes the matrix embarrassingly shardable,
 // determinism makes the merge verifiable.
+//
+// Loaded suites carry their raw workbook (Suite.Workbook), which feeds
+// the static-analysis engine in internal/lint: `comptest vet` runs a
+// registry of workbook analyzers (coverage gaps, limit-band interval
+// analysis against stand profiles, dead steps, duplicate scenarios,
+// settle-time conflicts, mutation-informed weak checks) with sheet/row
+// positions, per-row "lint:ignore CODE" suppression and a ratcheting
+// baseline; the serve job API exposes the same engine as the "vet" job
+// kind, streaming one finding per NDJSON line.
 package comptest

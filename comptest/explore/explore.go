@@ -35,6 +35,8 @@
 //
 // All randomness flows through one injected *rand.Rand: a fixed seed
 // reproduces the corpus byte for byte, regardless of parallelism.
+//
+//lint:deterministic
 package explore
 
 import (

@@ -24,6 +24,8 @@
 // findings — the only_fl mutant of the paper's interior-illumination
 // example survives precisely because of the unstimulated rear-door
 // inputs that lint flags.
+//
+//lint:deterministic
 package mutation
 
 import (

@@ -15,13 +15,14 @@ const (
 	KindCampaign = "campaign" // one comptest.Campaign: every script × one stand
 	KindMutate   = "mutate"   // mutation.Run: kill matrix, baseline + mutants
 	KindExplore  = "explore"  // explore.Run: coverage-guided scenario search
+	KindVet      = "vet"      // lint.Run: workbook static analysis, one finding per line
 )
 
 // JobSpec is the POST /v1/jobs request body. The zero value of every
 // field selects a default; an empty spec runs the paper's built-in
 // interior-illumination campaign on the paper stand.
 type JobSpec struct {
-	// Kind: campaign (default), mutate or explore.
+	// Kind: campaign (default), mutate, explore or vet.
 	Kind string `json:"kind,omitempty"`
 	// Workbook is the inline workbook text. Mutually exclusive with
 	// WorkbookName.
@@ -62,9 +63,9 @@ func (sp *JobSpec) normalize() (string, error) {
 	switch sp.Kind {
 	case "":
 		sp.Kind = KindCampaign
-	case KindCampaign, KindMutate, KindExplore:
+	case KindCampaign, KindMutate, KindExplore, KindVet:
 	default:
-		return "", fmt.Errorf("unknown kind %q (want campaign, mutate or explore)", sp.Kind)
+		return "", fmt.Errorf("unknown kind %q (want campaign, mutate, explore or vet)", sp.Kind)
 	}
 	if sp.Workbook != "" && sp.WorkbookName != "" {
 		return "", fmt.Errorf("workbook and workbook_name are mutually exclusive")
@@ -141,6 +142,15 @@ type MutationStatus struct {
 	Errored  int `json:"errored"`
 }
 
+// VetStatus summarises a vet job's findings by severity.
+type VetStatus struct {
+	Findings   int `json:"findings"`
+	Errors     int `json:"errors"`
+	Warnings   int `json:"warnings"`
+	Infos      int `json:"infos"`
+	Suppressed int `json:"suppressed"`
+}
+
 // ExplorationStatus summarises an explore job's corpus.
 type ExplorationStatus struct {
 	Candidates   int `json:"candidates"`
@@ -180,6 +190,7 @@ type JobStatus struct {
 	Campaign    *CampaignStatus    `json:"campaign,omitempty"`
 	Mutation    *MutationStatus    `json:"mutation,omitempty"`
 	Exploration *ExplorationStatus `json:"exploration,omitempty"`
+	Vet         *VetStatus         `json:"vet,omitempty"`
 	Shards      *ShardStatus       `json:"shards,omitempty"`
 }
 
@@ -194,13 +205,14 @@ type Job struct {
 	cancel context.CancelFunc
 
 	mu          sync.Mutex
-	state       State
-	verdict     string
-	errmsg      string
-	campaign    *CampaignStatus
-	mutation    *MutationStatus
-	exploration *ExplorationStatus
-	shards      *ShardStatus
+	state       State              // guarded by mu
+	verdict     string             // guarded by mu
+	errmsg      string             // guarded by mu
+	campaign    *CampaignStatus    // guarded by mu
+	mutation    *MutationStatus    // guarded by mu
+	exploration *ExplorationStatus // guarded by mu
+	vet         *VetStatus         // guarded by mu
+	shards      *ShardStatus       // guarded by mu
 }
 
 // currentState reads the state without the full Status snapshot —
@@ -264,6 +276,10 @@ func (j *Job) Status() JobStatus {
 		e := *j.exploration
 		st.Exploration = &e
 	}
+	if j.vet != nil {
+		v := *j.vet
+		st.Vet = &v
+	}
 	if j.shards != nil {
 		sh := *j.shards
 		sh.Workers = append([]string(nil), j.shards.Workers...)
@@ -283,8 +299,8 @@ func (j *Job) Status() JobStatus {
 type resultLog struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	lines  [][]byte
-	closed bool
+	lines  [][]byte // guarded by mu
+	closed bool     // guarded by mu
 }
 
 func newResultLog() *resultLog {

@@ -12,6 +12,7 @@ import (
 	"repro/comptest"
 	"repro/comptest/explore"
 	"repro/comptest/mutation"
+	"repro/internal/lint"
 	"repro/internal/stand"
 )
 
@@ -66,6 +67,7 @@ type Execution struct {
 	OnCampaign    func(CampaignStatus)
 	OnMutation    func(MutationStatus)
 	OnExploration func(ExplorationStatus)
+	OnVet         func(VetStatus)
 	OnShards      func(ShardStatus)
 
 	// Observer, when non-nil, supplies a per-unit trace observer for
@@ -106,10 +108,10 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for GET /v1/jobs
-	seq    int
-	closed bool
+	jobs   map[string]*Job // guarded by mu
+	order  []string        // submission order, for GET /v1/jobs; guarded by mu
+	seq    int             // guarded by mu
+	closed bool            // guarded by mu
 
 	// observe, when non-nil, attaches a per-unit observer to campaign
 	// jobs. Test hook: lets tests synchronise with a running script
@@ -466,6 +468,11 @@ func (s *Server) runJob(job *Job) {
 			job.exploration = &e
 			job.mu.Unlock()
 		},
+		OnVet: func(v VetStatus) {
+			job.mu.Lock()
+			job.vet = &v
+			job.mu.Unlock()
+		},
 		OnShards: func(sh ShardStatus) {
 			job.mu.Lock()
 			job.shards = &sh
@@ -502,6 +509,8 @@ func (s *Server) ExecuteLocal(ctx context.Context, ex Execution) (string, error)
 		return s.runMutate(ctx, ex)
 	case KindExplore:
 		return s.runExplore(ctx, ex)
+	case KindVet:
+		return s.runVet(ctx, ex)
 	}
 	// Unreachable from the API: normalize validated the kind.
 	return "", fmt.Errorf("unknown kind %q", ex.Spec.Kind)
@@ -577,6 +586,51 @@ func (s *Server) runMutate(ctx context.Context, ex Execution) (string, error) {
 		ex.OnMutation(st)
 	}
 	if st.Errored > 0 {
+		return "red", nil
+	}
+	return "green", nil
+}
+
+// runVet runs the workbook static analyzers over the cached suite,
+// streaming one NDJSON line per finding. The verdict is green iff no
+// error-severity finding survives the workbook's suppression
+// directives — the coordinator-fleet analogue of `comptest vet`.
+func (s *Server) runVet(ctx context.Context, ex Execution) (string, error) {
+	suite := ex.Art.Suite
+	res, err := lint.Run(&lint.Suite{
+		Signals:  suite.Signals,
+		Statuses: suite.Statuses,
+		Tests:    suite.Tests,
+		Workbook: suite.Workbook,
+	}, lint.Options{})
+	if err != nil {
+		return "", err
+	}
+	st := VetStatus{Findings: len(res.Findings), Suppressed: len(res.Suppressed)}
+	for _, f := range res.Findings {
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		line, err := json.Marshal(f)
+		if err != nil {
+			return "", err
+		}
+		if _, err := ex.Log.Write(append(line, '\n')); err != nil {
+			return "", err
+		}
+		switch f.Severity {
+		case lint.Error:
+			st.Errors++
+		case lint.Warning:
+			st.Warnings++
+		default:
+			st.Infos++
+		}
+	}
+	if ex.OnVet != nil {
+		ex.OnVet(st)
+	}
+	if st.Errors > 0 {
 		return "red", nil
 	}
 	return "green", nil

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// streamFindings reads a vet job's NDJSON stream as lint findings.
+func (ts *testServer) streamFindings(t *testing.T, id string) []lint.Finding {
+	t.Helper()
+	resp, err := http.Get(ts.url + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream %s: status %d", id, resp.StatusCode)
+	}
+	var out []lint.Finding
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var f lint.Finding
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("stream line %d: %v\n%s", len(out), err, sc.Text())
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestVetJobGreen vets the built-in paper workbook: warnings only, so
+// the verdict is green and every finding arrives as one NDJSON line.
+func TestVetJobGreen(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	st := ts.submit(t, `{"kind":"vet"}`)
+	findings := ts.streamFindings(t, st.ID)
+	final := ts.status(t, st.ID)
+
+	if final.State != StateDone || final.Verdict != "green" {
+		t.Fatalf("state=%s verdict=%q err=%q", final.State, final.Verdict, final.Error)
+	}
+	if final.Vet == nil {
+		t.Fatal("no vet status on a vet job")
+	}
+	if final.Vet.Findings != len(findings) || final.Reports != len(findings) {
+		t.Errorf("vet status %+v vs %d streamed findings (%d reports)",
+			final.Vet, len(findings), final.Reports)
+	}
+	if final.Vet.Errors != 0 {
+		t.Errorf("paper workbook has error findings: %+v", final.Vet)
+	}
+	// The canonical paper gaps must be among the streamed findings,
+	// positions included.
+	seen := map[string]bool{}
+	for _, f := range findings {
+		if f.Code == "unstimulated-input" && f.Pos.Sheet == "SignalDefinition" && f.Pos.Row > 0 {
+			seen[f.Msg] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("rear-door gaps not streamed with positions: %v", findings)
+	}
+}
+
+// TestVetJobRed vets a workbook with an unsatisfiable limit band: the
+// error finding turns the verdict red while the job itself completes.
+func TestVetJobRed(t *testing.T) {
+	wb := `== SignalDefinition ==
+signal;direction;class;pin;init
+SW;in;digital;SW;Released
+LAMP;out;analog;LAMP;
+== StatusDefinition ==
+status;method;attribut;var (x);nom;min;max
+Pressed;put_r;r;;0;;
+Released;put_r;r;;INF;;
+Impossible;get_u;u;UBATT;1;1,2;0,7
+== Test_Main ==
+test step;dt;SW;LAMP
+0;1;Pressed;Impossible
+`
+	spec, err := json.Marshal(JobSpec{Kind: KindVet, Workbook: wb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Options{})
+	st := ts.submit(t, string(spec))
+	ts.streamFindings(t, st.ID) // blocks until terminal
+	final := ts.status(t, st.ID)
+	if final.State != StateDone || final.Verdict != "red" {
+		t.Fatalf("state=%s verdict=%q err=%q", final.State, final.Verdict, final.Error)
+	}
+	if final.Vet == nil || final.Vet.Errors == 0 {
+		t.Errorf("vet status lacks error findings: %+v", final.Vet)
+	}
+}
+
+// TestVetJobSpecValidation: campaign/explore-only knobs are rejected on
+// vet jobs at submission time.
+func TestVetJobSpecValidation(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	for _, spec := range []string{
+		`{"kind":"vet","faults":["stuck_off"]}`,
+		`{"kind":"vet","scripts":["InteriorIllumination"]}`,
+		`{"kind":"vet","seed":7}`,
+		`{"kind":"vet","oracle":["stuck_off"]}`,
+	} {
+		if _, code := ts.submitRaw(t, spec); code != http.StatusBadRequest {
+			t.Errorf("spec %s accepted with status %d", spec, code)
+		}
+	}
+}

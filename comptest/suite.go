@@ -22,6 +22,11 @@ type Suite struct {
 	Statuses *status.Table
 	Tests    []*testdef.TestCase
 	Registry *method.Registry
+
+	// Workbook is the raw workbook the suite was parsed from. The
+	// static analyzers use it for suppression directives and source
+	// positions.
+	Workbook *sheet.Workbook
 }
 
 // Sheet names expected in a workbook.
@@ -62,7 +67,7 @@ func LoadSuite(wb *sheet.Workbook) (*Suite, error) {
 			return nil, err
 		}
 	}
-	return &Suite{Signals: sigs, Statuses: tbl, Tests: tests, Registry: reg}, nil
+	return &Suite{Signals: sigs, Statuses: tbl, Tests: tests, Registry: reg, Workbook: wb}, nil
 }
 
 // LoadSuiteString parses a workbook held in a string.

@@ -1,95 +1,53 @@
 package repro
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
-	"strconv"
-	"strings"
 	"testing"
+
+	"repro/internal/goanalysis"
+	"repro/internal/golint"
 )
 
-// TestNoGlobalRandomness is the repo-wide determinism audit: every use
-// of math/rand must flow through an injected, seeded *rand.Rand.
-// Calling the package-level functions (rand.Intn, rand.Shuffle, …)
-// draws from the shared global source, which makes results depend on
-// whatever else ran in the process — exploration corpora, property
-// tests and benchmarks all lose reproducibility. Constructing sources
-// (rand.New, rand.NewSource) is exactly the sanctioned pattern and
-// stays allowed. The behavioural half of the guarantee is pinned by
-// explore's TestExploreDeterminism: a fixed seed reproduces the corpus
-// byte for byte.
+// TestNoGlobalRandomness is the repo-wide determinism audit, now driven
+// by the real analyzer instead of a hand-rolled AST walk: every use of
+// math/rand must flow through an injected, seeded *rand.Rand, because
+// the package-level functions draw from the shared global source and
+// make exploration corpora, property tests and benchmarks depend on
+// whatever else ran in the process. Constructing sources (rand.New,
+// rand.NewSource) stays allowed. The same analyzer additionally bans
+// time.Now and map-iteration-ordered printing in the packages marked
+// //lint:deterministic (explore, mutation, dist, report), whose
+// byte-for-byte reproducibility other tests pin behaviourally. The
+// analyzer's own semantics are pinned by the fixture expectations in
+// internal/golint.
 func TestNoGlobalRandomness(t *testing.T) {
-	allowed := map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-		if err != nil {
-			return err
-		}
-		// Resolve the local name math/rand is imported under, if at all.
-		randName := ""
-		for _, imp := range file.Imports {
-			p, _ := strconv.Unquote(imp.Path.Value)
-			if p != "math/rand" && p != "math/rand/v2" {
-				continue
-			}
-			randName = "rand"
-			if imp.Name != nil {
-				randName = imp.Name.Name
-			}
-		}
-		if randName == "" || randName == "_" {
-			return nil
-		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok || id.Name != randName {
-				return true
-			}
-			// Type references (rand.Rand, rand.Source) are fine; only
-			// package-level function calls draw from the global source.
-			if allowed[sel.Sel.Name] || !isCalled(file, sel) {
-				return true
-			}
-			t.Errorf("%s: %s.%s draws from the global math/rand source; inject a seeded *rand.Rand instead",
-				fset.Position(sel.Pos()), randName, sel.Sel.Name)
-			return true
-		})
-		return nil
-	})
+	pkgs, err := goanalysis.Load(".", "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
+	diags, err := goanalysis.Analyze(pkgs, []*goanalysis.Analyzer{golint.NoDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
 }
 
-// isCalled reports whether the selector is the callee of some call
-// expression in the file.
-func isCalled(file *ast.File, sel *ast.SelectorExpr) bool {
-	called := false
-	ast.Inspect(file, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
-			called = true
-		}
-		return !called
-	})
-	return called
+// TestSelfLintClean runs the full comptest-lint suite (nodeterminism,
+// ctxpath, guardedfield) over the repo — the same gate CI applies. Any
+// deliberate exception must be suppressed in source with a
+// "lint:ignore <analyzer> reason" comment, which keeps the waiver next
+// to the code it excuses.
+func TestSelfLintClean(t *testing.T) {
+	pkgs, err := goanalysis.Load(".", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := goanalysis.Analyze(pkgs, golint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
 }

@@ -16,8 +16,16 @@
 // distributed execution in comptest/dist (a coordinator shards
 // campaign unit matrices across registered remote workers —
 // heartbeat leases, shard requeue on node loss, exactly-once ordered
-// merge byte-identical to a single-node run). The
+// merge byte-identical to a single-node run). Static analysis runs on
+// both sides of the tool chain: internal/lint is a pluggable analyzer
+// registry over workbooks (surfaced as `comptest vet`: positioned
+// findings, severities, SARIF, a ratcheting baseline and a vet job
+// kind in comptest/serve), while internal/goanalysis + internal/golint
+// implement a stdlib-only go/analysis-style framework with the repo's
+// own determinism, context-path and lock-discipline analyzers,
+// multichecked by cmd/comptest-lint in CI. The
 // building blocks live under internal/, the command line tools under
-// cmd/comptest and cmd/benchjson, runnable examples under examples/,
-// and bench_test.go regenerates every table and figure of the paper.
+// cmd/comptest, cmd/comptest-lint and cmd/benchjson, runnable
+// examples under examples/, and bench_test.go regenerates every table
+// and figure of the paper.
 package repro

@@ -1,0 +1,109 @@
+package goanalysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// A want is one expectation parsed from a `// want "substr"` comment.
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// CheckExpectations loads the module rooted at dir, runs the analyzers,
+// and compares the diagnostics against `// want "substr" ...` comments
+// in the fixture sources, in the style of x/tools' analysistest. Each
+// quoted string is a substring that must appear in the message of a
+// diagnostic reported on that line; every diagnostic must be claimed by
+// a want and every want must be matched. Failures are reported through
+// t, which only needs Errorf (so *testing.T fits).
+func CheckExpectations(t interface{ Errorf(string, ...any) }, dir string, analyzers []*Analyzer, patterns ...string) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		t.Errorf("load %s: %v", dir, err)
+		return
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(pkg, f)...)
+		}
+	}
+	diags, err := Analyze(pkgs, analyzers)
+	if err != nil {
+		t.Errorf("analyze %s: %v", dir, err)
+		return
+	}
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				strings.Contains(d.Message, w.substr) {
+				w.matched, claimed = true, true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// parseWants extracts the expectations from one file's comments.
+func parseWants(pkg *Package, f *ast.File) []*want {
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, s := range splitQuoted(strings.TrimPrefix(text, "want ")) {
+				out = append(out, &want{file: pos.Filename, line: pos.Line, substr: s})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted returns the unquoted Go strings in s, ignoring anything
+// between them.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i:]
+		// Find the closing quote, honoring escapes.
+		end := -1
+		for j := 1; j < len(s); j++ {
+			if s[j] == '\\' {
+				j++
+				continue
+			}
+			if s[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		if uq, err := strconv.Unquote(s[:end+1]); err == nil {
+			out = append(out, uq)
+		}
+		s = s[end+1:]
+	}
+}

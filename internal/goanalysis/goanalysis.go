@@ -1,0 +1,160 @@
+// Package goanalysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package through a Pass and reports Diagnostics.
+//
+// The repo deliberately vendors nothing, so the framework is built on
+// the standard library alone: packages are enumerated and compiled by
+// `go list -export` (see Load) and type-checked against the resulting
+// export data with go/types. That is enough to drive the custom
+// determinism and concurrency linters in internal/golint and the
+// comptest-lint multichecker that runs them in CI.
+//
+// Diagnostics can be suppressed in source with a same-line comment
+//
+//	expr // lint:ignore <analyzer> reason
+//
+// mirroring the lint:ignore cells understood by the workbook analyzers
+// in internal/lint.
+package goanalysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Name doubles as the
+// diagnostic category and as the key used by lint:ignore comments.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents a single type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyze runs every analyzer over every package and returns the
+// surviving diagnostics sorted by position. Findings on a line whose
+// trailing comment carries "lint:ignore <analyzer>" are dropped.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignored := ignoreLines(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.report = func(d Diagnostic) {
+				if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, a.Name}] {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreLines indexes every "lint:ignore NAME[,NAME] reason" comment by
+// the file and line it sits on.
+func ignoreLines(pkg *Package) map[ignoreKey]bool {
+	out := map[ignoreKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimLeft(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"), " \t")
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				rest := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(rest) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(rest[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						out[ignoreKey{pos.Filename, pos.Line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether any comment in the package is exactly
+// the given directive (e.g. "lint:deterministic"). Directives mark
+// whole-package properties that analyzers key off.
+func HasDirective(files []*ast.File, directive string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+// Package golint holds the repo's custom Go analyzers, built on the
+// internal/goanalysis framework and run by cmd/comptest-lint (and by
+// the root determinism test). Three checks guard invariants the
+// compiler cannot see:
+//
+//   - nodeterminism: no global math/rand anywhere; no time.Now or
+//     map-iteration-ordered printing in packages marked with a
+//     //lint:deterministic directive (explore, mutation, dist, report —
+//     the packages whose byte-for-byte reproducibility the test suite
+//     pins).
+//   - ctxpath: exported Run*/Execute*/Campaign* entry points must
+//     thread a context.Context as their first parameter so campaign
+//     cancellation reaches every layer.
+//   - guardedfield: struct fields documented "guarded by <mu>" must
+//     only be touched under a lexically visible <mu>.Lock()/RLock(),
+//     or from a function whose name signals the lock convention.
+//
+// Findings can be silenced in place with a same-line
+// "lint:ignore <analyzer> reason" comment.
+package golint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/goanalysis"
+)
+
+// DeterministicDirective marks a package whose output must be
+// byte-for-byte reproducible across runs.
+const DeterministicDirective = "lint:deterministic"
+
+// Analyzers returns every analyzer in the suite, in a stable order.
+func Analyzers() []*goanalysis.Analyzer {
+	return []*goanalysis.Analyzer{CtxPath, GuardedField, NoDeterminism}
+}
+
+// calleeFunc resolves the function a call expression invokes, or nil
+// for builtins, conversions and indirect calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isContextContext reports whether t is (or aliases) context.Context.
+func isContextContext(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,168 @@
+package golint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/goanalysis"
+)
+
+// GuardedField checks documented lock discipline. A struct field whose
+// doc or line comment says "guarded by <mu>" may only be read or
+// written (a) after a lexically earlier <mu>.Lock() or <mu>.RLock() in
+// the same function, (b) inside a function whose name ends in "Locked"
+// (the repo convention for callers-hold-the-lock helpers), or (c)
+// inside a constructor (New*/new*), where the value is not yet shared.
+// The check is lexical and per-package — a linter, not a proof — but it
+// catches the common bug of touching a shared field on a new code path
+// without taking the mutex.
+var GuardedField = &goanalysis.Analyzer{
+	Name: "guardedfield",
+	Doc: "fields documented \"guarded by <mu>\" must be accessed under " +
+		"that mutex",
+	Run: runGuardedField,
+}
+
+func runGuardedField(p *goanalysis.Pass) error {
+	guarded := collectGuarded(p)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || exemptFromGuard(fd.Name.Name) {
+				continue
+			}
+			checkGuardedAccesses(p, guarded, fd)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps each field object annotated "guarded by <mu>" to
+// the mutex name it names.
+func collectGuarded(p *goanalysis.Pass) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mux := guardAnnotation(field)
+				if mux == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = mux
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's "guarded by
+// <mu>" doc or line comment, or "" if the field carries none.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		i := strings.Index(text, "guarded by ")
+		if i < 0 {
+			continue
+		}
+		rest := text[i+len("guarded by "):]
+		end := 0
+		for end < len(rest) && (isIdentChar(rest[end])) {
+			end++
+		}
+		if end > 0 {
+			return rest[:end]
+		}
+	}
+	return ""
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// exemptFromGuard reports whether a function's name opts it out of the
+// lexical lock check.
+func exemptFromGuard(name string) bool {
+	switch {
+	case strings.HasSuffix(name, "Locked"),
+		strings.HasPrefix(name, "New"), strings.HasPrefix(name, "new"),
+		name == "Lock", name == "Unlock", name == "RLock", name == "RUnlock":
+		return true
+	}
+	return false
+}
+
+func checkGuardedAccesses(p *goanalysis.Pass, guarded map[*types.Var]string, fd *ast.FuncDecl) {
+	// Positions of every <mu>.Lock()/RLock() call in the body, by mutex
+	// name.
+	locks := map[string][]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if mux := terminalName(sel.X); mux != "" {
+			locks[mux] = append(locks[mux], int(call.Pos()))
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := p.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mux, ok := guarded[v]
+		if !ok {
+			return true
+		}
+		for _, pos := range locks[mux] {
+			if pos < int(sel.Pos()) {
+				return true
+			}
+		}
+		p.Reportf(sel.Sel.Pos(),
+			"field %q is guarded by %q but %s does not hold it here",
+			v.Name(), mux, fd.Name.Name)
+		return true
+	})
+}
+
+// terminalName is the last identifier of an expression like j.mu or mu:
+// the name the lock is taken through.
+func terminalName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

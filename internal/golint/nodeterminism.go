@@ -1,0 +1,107 @@
+package golint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/goanalysis"
+)
+
+// NoDeterminism promotes the repo's long-standing TestNoGlobalRandomness
+// audit into a real analyzer. Package-level math/rand functions draw
+// from the process-wide source, so any call makes exploration corpora
+// and property tests depend on whatever else ran first; constructing
+// sources (rand.New, rand.NewSource, …) is the sanctioned pattern and
+// stays allowed. In packages carrying the //lint:deterministic
+// directive the analyzer additionally bans time.Now and printing
+// directly from a map range, the two classic ways wall-clock and hash
+// ordering leak into output that must be byte-stable.
+var NoDeterminism = &goanalysis.Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid the global math/rand source everywhere, and time.Now or " +
+		"map-iteration-ordered output in //lint:deterministic packages",
+	Run: runNoDeterminism,
+}
+
+// randConstructors are the package-level math/rand functions that build
+// an injectable source instead of consuming the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNoDeterminism(p *goanalysis.Pass) error {
+	deterministic := goanalysis.HasDirective(p.Files, DeterministicDirective)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() != nil {
+					return true // methods (e.g. on an injected *rand.Rand) are fine
+				}
+				if pkg := fn.Pkg().Path(); pkg == "math/rand" || pkg == "math/rand/v2" {
+					if !randConstructors[fn.Name()] {
+						p.Reportf(n.Pos(),
+							"%s draws from the global math/rand source; inject a seeded *rand.Rand instead",
+							fn.FullName())
+					}
+				}
+			case *ast.Ident:
+				// time.Now is flagged on use, not just call: storing it in
+				// a clock field smuggles the wall clock in the same way.
+				if deterministic {
+					if fn, ok := p.TypesInfo.Uses[n].(*types.Func); ok &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+						p.Reportf(n.Pos(),
+							"time.Now in a deterministic package; inject a clock or take timestamps at the edge")
+					}
+				}
+			case *ast.RangeStmt:
+				if deterministic {
+					checkMapRangeOutput(p, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeOutput flags fmt printing inside a range over a map:
+// iteration order is randomized per process, so anything written from
+// the loop body lands in a different order every run. The fix is to
+// collect the keys, sort, and print from the slice.
+func checkMapRangeOutput(p *goanalysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := p.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+			return true
+		}
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			p.Reportf(call.Pos(),
+				"fmt.%s inside a map range emits hash-ordered output; sort the keys first",
+				fn.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,38 @@
+// Package detpkg must produce byte-stable output, so it opts into the
+// stricter determinism checks.
+//
+//lint:deterministic
+package detpkg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged in a deterministic package.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now in a deterministic package"
+}
+
+// Clock smuggles the wall clock out as a value: still flagged.
+func Clock() func() time.Time {
+	return time.Now // want "time.Now in a deterministic package"
+}
+
+// Dump prints straight out of a map range (flagged), then does it the
+// sanctioned way: collect, sort, print.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "inside a map range"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,56 @@
+// Package guarded exercises the guardedfield lock-discipline check.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Inc holds the mutex: compliant.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads the field with no lock in sight: flagged.
+func (c *counter) Peek() int {
+	return c.n // want "does not hold it"
+}
+
+// valueLocked follows the callers-hold-the-lock convention: exempt.
+func (c *counter) valueLocked() int {
+	return c.n
+}
+
+// newCounter initializes before the value is shared: exempt.
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// TryRead touches the field before taking the lock: the early access is
+// flagged, the one after Lock is not.
+func (c *counter) TryRead() int {
+	if c.n > 0 { // want "does not hold it"
+		return 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int // guarded by mu
+}
+
+// Lookup reads under RLock: compliant.
+func (t *table) Lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}

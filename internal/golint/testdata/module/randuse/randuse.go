@@ -1,0 +1,33 @@
+// Package randuse exercises the global-source half of nodeterminism.
+package randuse
+
+import (
+	mrand "math/rand"
+	v2 "math/rand/v2"
+)
+
+// Draw consumes the process-global source: flagged.
+func Draw() int {
+	return mrand.Intn(6) // want "global math/rand"
+}
+
+// DrawV2 does the same through math/rand/v2: flagged.
+func DrawV2() int {
+	return v2.Int() // want "global math/rand"
+}
+
+// Sanctioned builds an injectable source: the allowed pattern.
+func Sanctioned() *mrand.Rand {
+	return mrand.New(mrand.NewSource(1))
+}
+
+// Injected draws from a seeded source passed in: fine, it is a method
+// call, not a package-level function.
+func Injected(r *mrand.Rand) int {
+	return r.Intn(6)
+}
+
+// Suppressed shows the in-source escape hatch.
+func Suppressed() int {
+	return mrand.Int() // lint:ignore nodeterminism fixture exercises suppression
+}

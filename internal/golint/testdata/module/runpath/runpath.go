@@ -1,0 +1,23 @@
+// Package runpath exercises the ctxpath run-path contract.
+package runpath
+
+import "context"
+
+type Engine struct{}
+
+// RunCampaign threads a context: compliant.
+func (e *Engine) RunCampaign(ctx context.Context) error { return nil }
+
+// Execute forgot the context: flagged.
+func (e *Engine) Execute() error { return nil } // want "context.Context first parameter"
+
+// RunAll is a package-level entry point without a context: flagged.
+func RunAll(n int) error { return nil } // want "context.Context first parameter"
+
+type worker struct{}
+
+// Run on an unexported receiver is not API: ignored.
+func (w *worker) Run() {}
+
+// runLocal is unexported: ignored.
+func runLocal() {}

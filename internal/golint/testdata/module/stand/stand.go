@@ -1,0 +1,9 @@
+// Package stand mirrors the repo's stand package closely enough to
+// exercise the ctxpath allowlist: Stand.Run is the legacy synchronous
+// wrapper and must not be flagged.
+package stand
+
+type Stand struct{}
+
+// Run matches the allowlist entry "stand.Stand.Run": no finding.
+func (s *Stand) Run() {}

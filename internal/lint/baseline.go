@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed snapshot of accepted findings. CI compares a
+// fresh run against it and fails only on findings the baseline does not
+// cover — a ratchet: existing debt is tolerated, new debt is not.
+// Entries are keyed on (code, sheet, message) but NOT on row, so
+// inserting rows above a known finding does not break the build; Count
+// bounds how many identical findings the key absorbs.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry accepts Count findings matching (Code, Sheet, Msg).
+type BaselineEntry struct {
+	Code  string `json:"code"`
+	Sheet string `json:"sheet,omitempty"`
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+// baselineVersion is the current file format version.
+const baselineVersion = 1
+
+func baselineKey(code, sheetName, msg string) string {
+	return code + "\x00" + strings.ToLower(sheetName) + "\x00" + msg
+}
+
+// NewBaseline aggregates findings into a baseline, sorted by key so the
+// file is byte-stable.
+func NewBaseline(fs []Finding) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, f := range fs {
+		key := baselineKey(f.Code, f.Pos.Sheet, f.Msg)
+		if e := counts[key]; e != nil {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{Code: f.Code, Sheet: f.Pos.Sheet, Msg: f.Msg, Count: 1}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	b := &Baseline{Version: baselineVersion}
+	for _, key := range order {
+		b.Entries = append(b.Entries, *counts[key])
+	}
+	return b
+}
+
+// Apply returns the findings the baseline does not cover, consuming
+// entry counts in finding order.
+func (b *Baseline) Apply(fs []Finding) []Finding {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Code, e.Sheet, e.Msg)] += n
+	}
+	var fresh []Finding
+	for _, f := range fs {
+		key := baselineKey(f.Code, f.Pos.Sheet, f.Msg)
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}
+
+// WriteBaseline writes the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaselineFile loads a baseline file.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %v", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// WriteBaselineFile writes a baseline file.
+func WriteBaselineFile(path string, b *Baseline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBaseline(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

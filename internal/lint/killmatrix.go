@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// KillMatrix is the lint view of a saved mutation strength report
+// (report.Strength as written by `comptest mutate -format json`): which
+// signals' checks ever witnessed a mutant kill. The weak-check analyzer
+// joins it against the test sheets to flag checks with no demonstrated
+// fault-detection power.
+type KillMatrix struct {
+	killedSignals map[string]bool
+	mutants       int
+	killed        int
+}
+
+// KillMatrixFromStrength digests a strength report. A check "witnessed
+// a kill" when a killed mutant's witness string names its signal —
+// witnesses have the fixed shape "<script> step <n>: <signal> <method>
+// expected <x>, measured <y>" produced by the mutation runner.
+func KillMatrixFromStrength(s *report.Strength) *KillMatrix {
+	k := &KillMatrix{killedSignals: map[string]bool{}}
+	for _, d := range s.DUTs {
+		for _, m := range d.Mutants {
+			k.mutants++
+			if !m.Killed {
+				continue
+			}
+			k.killed++
+			if sig := witnessSignal(m.Witness); sig != "" {
+				k.killedSignals[strings.ToLower(sig)] = true
+			}
+		}
+	}
+	return k
+}
+
+// ReadKillMatrixFile loads a strength JSON file into a KillMatrix.
+func ReadKillMatrixFile(path string) (*KillMatrix, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s report.Strength
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("lint: kill matrix %s: %v", path, err)
+	}
+	return KillMatrixFromStrength(&s), nil
+}
+
+// KilledSignal reports whether any killed mutant's witness named the
+// signal.
+func (k *KillMatrix) KilledSignal(name string) bool {
+	return k.killedSignals[strings.ToLower(strings.TrimSpace(name))]
+}
+
+// Summary renders "N/M mutants killed" for finding messages.
+func (k *KillMatrix) Summary() string {
+	return fmt.Sprintf("%d/%d mutants killed", k.killed, k.mutants)
+}
+
+// witnessSignal extracts the signal name from a kill witness string, or
+// "" when the witness does not follow the runner's shape.
+func witnessSignal(w string) string {
+	i := strings.Index(w, ": ")
+	if i < 0 {
+		return ""
+	}
+	fields := strings.Fields(w[i+2:])
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}

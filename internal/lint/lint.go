@@ -4,18 +4,25 @@
 // requirements for the components are normally incomplete" — makes such
 // findings valuable: the only_fl mutant of EXPERIMENTS.md C2 survives
 // the paper's table precisely because of a coverage gap lint can flag.
+//
+// The package is organised as a pluggable analyzer framework modeled on
+// go/analysis: each check is an Analyzer with a stable name (the finding
+// code), a default severity and a Run function over a Pass. Analyzers
+// register themselves in a package-level registry; Run executes a
+// selection of them over a Suite and returns position-annotated
+// findings. Check is the legacy flat entry point kept for the mutation
+// and exploration subsystems.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
-	"repro/internal/method"
 	"repro/internal/sigdef"
 	"repro/internal/status"
 	"repro/internal/testdef"
-	"repro/internal/unit"
 )
 
 // Severity ranks findings.
@@ -26,23 +33,93 @@ const (
 	Info Severity = iota
 	// Warning findings indicate probable quality problems.
 	Warning
+	// Error findings indicate defects that make checks meaningless or
+	// unreachable; comptest vet exits nonzero on fresh errors.
+	Error
 )
 
 // String implements fmt.Stringer.
 func (s Severity) String() string {
-	if s == Warning {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
 		return "warning"
 	}
 	return "info"
 }
 
+// ParseSeverity parses "info", "warning" or "error".
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "info":
+		return Info, nil
+	case "warning", "warn":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("lint: unknown severity %q (want info, warning or error)", s)
+}
+
+// MarshalJSON renders the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses the lower-case severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = sev
+	return nil
+}
+
+// Pos locates a finding inside a workbook. Row and Col are 1-based sheet
+// coordinates; Line is the 1-based line of the workbook source file
+// (0 when the sheet was built programmatically). The zero Pos means
+// "whole suite".
+type Pos struct {
+	Sheet string `json:"sheet,omitempty"`
+	Row   int    `json:"row,omitempty"`
+	Col   int    `json:"col,omitempty"`
+	Line  int    `json:"line,omitempty"`
+}
+
+// IsZero reports whether the position carries no location at all.
+func (p Pos) IsZero() bool { return p == Pos{} }
+
+// String renders "Sheet row N" (with optional column), or "".
+func (p Pos) String() string {
+	if p.Sheet == "" {
+		return ""
+	}
+	s := p.Sheet
+	if p.Row > 0 {
+		s += fmt.Sprintf(" row %d", p.Row)
+	}
+	if p.Col > 0 {
+		s += fmt.Sprintf(" col %d", p.Col)
+	}
+	return s
+}
+
 // Finding is one lint result.
 type Finding struct {
-	Severity Severity
-	// Code is the stable check identifier (e.g. "unused-status").
-	Code string
+	Severity Severity `json:"severity"`
+	// Code is the stable check identifier (e.g. "unused-status"); it
+	// equals the name of the analyzer that produced the finding.
+	Code string `json:"code"`
 	// Msg is the human-readable description.
-	Msg string
+	Msg string `json:"msg"`
+	// Pos anchors the finding in the workbook (zero when unknown).
+	Pos Pos `json:"pos,omitzero"`
 }
 
 // String renders "severity code: msg".
@@ -50,16 +127,27 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s %s: %s", f.Severity, f.Code, f.Msg)
 }
 
-// Check runs every lint rule over a cross-validated suite.
+// Mentions reports whether the finding's message names the signal. Lint
+// messages always quote signal names, so the match is on the quoted,
+// case-folded form and cannot fire on a substring of a longer name.
+func (f Finding) Mentions(signal string) bool {
+	return strings.Contains(strings.ToLower(f.Msg), strings.ToLower(`"`+signal+`"`))
+}
+
+// Check runs the classic lint rules over a cross-validated suite. It is
+// the stable legacy surface consumed by the mutation and exploration
+// subsystems: positions are filled in, but only the original analyzer
+// set runs (no stand or kill-matrix context is available here — use Run
+// with a full Suite for the cross-artifact analyzers).
 func Check(sigs *sigdef.List, tbl *status.Table, tests []*testdef.TestCase) []Finding {
+	s := &Suite{Signals: sigs, Statuses: tbl, Tests: tests}
 	var out []Finding
-	out = append(out, checkUnusedStatuses(sigs, tbl, tests)...)
-	out = append(out, checkSignalCoverage(sigs, tests)...)
-	out = append(out, checkMissingInit(sigs)...)
-	out = append(out, checkEmptyColumns(tests)...)
-	out = append(out, checkLimitSanity(tbl)...)
-	out = append(out, checkDuration(tests)...)
-	out = append(out, checkNeverToggled(sigs, tests)...)
+	for _, name := range legacyAnalyzers {
+		a := lookupAnalyzer(name)
+		p := &Pass{Suite: s, analyzer: a}
+		a.Run(p)
+		out = append(out, p.findings...)
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
 	return out
 }
@@ -89,182 +177,13 @@ func CoverageGaps(fs []Finding) []Finding {
 	return out
 }
 
-// Mentions reports whether the finding's message names the signal. Lint
-// messages always quote signal names, so the match is on the quoted,
-// case-folded form and cannot fire on a substring of a longer name.
-func (f Finding) Mentions(signal string) bool {
-	return strings.Contains(strings.ToLower(f.Msg), strings.ToLower(`"`+signal+`"`))
-}
-
-// Warnings filters the findings to warnings only.
+// Warnings filters the findings to warnings and errors.
 func Warnings(fs []Finding) []Finding {
 	var out []Finding
 	for _, f := range fs {
-		if f.Severity == Warning {
+		if f.Severity >= Warning {
 			out = append(out, f)
 		}
-	}
-	return out
-}
-
-// checkUnusedStatuses flags statuses no test or init references.
-func checkUnusedStatuses(sigs *sigdef.List, tbl *status.Table, tests []*testdef.TestCase) []Finding {
-	used := map[string]bool{}
-	for _, sig := range sigs.Signals() {
-		if sig.Init != "" {
-			used[strings.ToLower(sig.Init)] = true
-		}
-	}
-	for _, tc := range tests {
-		for _, st := range tc.UsedStatuses() {
-			used[strings.ToLower(st)] = true
-		}
-	}
-	var out []Finding
-	for _, name := range tbl.Names() {
-		if !used[strings.ToLower(name)] {
-			out = append(out, Finding{Warning, "unused-status",
-				fmt.Sprintf("status %q is defined but never used", name)})
-		}
-	}
-	return out
-}
-
-// checkSignalCoverage flags outputs never measured and inputs never
-// stimulated by any test (the init block does not count as coverage).
-func checkSignalCoverage(sigs *sigdef.List, tests []*testdef.TestCase) []Finding {
-	touched := map[string]bool{}
-	for _, tc := range tests {
-		for _, step := range tc.Steps {
-			for _, a := range step.Assign {
-				touched[strings.ToLower(a.Signal)] = true
-			}
-		}
-	}
-	var out []Finding
-	for _, sig := range sigs.Signals() {
-		if touched[strings.ToLower(sig.Name)] {
-			continue
-		}
-		switch sig.Direction {
-		case sigdef.Out:
-			out = append(out, Finding{Warning, "unmeasured-output",
-				fmt.Sprintf("output signal %q is never measured by any test", sig.Name)})
-		case sigdef.In:
-			out = append(out, Finding{Warning, "unstimulated-input",
-				fmt.Sprintf("input signal %q is never stimulated by any test", sig.Name)})
-		}
-	}
-	return out
-}
-
-// checkMissingInit flags inputs without an initial status — their state
-// before step 0 is undefined on a real stand.
-func checkMissingInit(sigs *sigdef.List) []Finding {
-	var out []Finding
-	for _, sig := range sigs.Inputs() {
-		if strings.TrimSpace(sig.Init) == "" {
-			out = append(out, Finding{Warning, "missing-init",
-				fmt.Sprintf("input signal %q has no initial status", sig.Name)})
-		}
-	}
-	return out
-}
-
-// checkEmptyColumns flags test sheet columns that assign nothing.
-func checkEmptyColumns(tests []*testdef.TestCase) []Finding {
-	var out []Finding
-	for _, tc := range tests {
-		for _, sig := range tc.Signals {
-			found := false
-			for _, step := range tc.Steps {
-				if _, ok := step.Lookup(sig); ok {
-					found = true
-					break
-				}
-			}
-			if !found {
-				out = append(out, Finding{Warning, "empty-column",
-					fmt.Sprintf("test %q lists signal %q but never assigns it", tc.Name, sig)})
-			}
-		}
-	}
-	return out
-}
-
-// checkLimitSanity flags measurement statuses whose absolute limits are
-// inverted or degenerate.
-func checkLimitSanity(tbl *status.Table) []Finding {
-	var out []Finding
-	for _, st := range tbl.Statuses() {
-		if !st.Desc.IsMeasure() || st.Desc.Attr(st.Desc.RangeAttr) != nil &&
-			st.Desc.Attr(st.Desc.RangeAttr).Kind == method.Bits {
-			continue
-		}
-		lo, err1 := unit.ParseNumber(st.Min)
-		hi, err2 := unit.ParseNumber(st.Max)
-		if err1 != nil || err2 != nil {
-			continue // expressions: checked at evaluation time
-		}
-		switch {
-		case lo > hi:
-			out = append(out, Finding{Warning, "inverted-limits",
-				fmt.Sprintf("status %q has min %v above max %v", st.Name, lo, hi)})
-		case lo == hi:
-			out = append(out, Finding{Warning, "degenerate-limits",
-				fmt.Sprintf("status %q has a zero-width tolerance band at %v", st.Name, lo)})
-		}
-	}
-	return out
-}
-
-// checkDuration reports unusually long tests (informational).
-func checkDuration(tests []*testdef.TestCase) []Finding {
-	var out []Finding
-	for _, tc := range tests {
-		if d := tc.Duration(); d > 600 {
-			out = append(out, Finding{Info, "long-test",
-				fmt.Sprintf("test %q runs %.0f s nominal; consider splitting", tc.Name, d)})
-		}
-	}
-	return out
-}
-
-// checkNeverToggled flags inputs that are assigned but always with the
-// same status — they never change state, so the tests cannot observe the
-// DUT's reaction to them (the root of the paper table's only_fl gap: the
-// rear doors are never opened).
-func checkNeverToggled(sigs *sigdef.List, tests []*testdef.TestCase) []Finding {
-	values := map[string]map[string]bool{}
-	for _, tc := range tests {
-		for _, step := range tc.Steps {
-			for _, a := range step.Assign {
-				key := strings.ToLower(a.Signal)
-				if values[key] == nil {
-					values[key] = map[string]bool{}
-				}
-				values[key][strings.ToLower(a.Status)] = true
-			}
-		}
-	}
-	var out []Finding
-	for _, sig := range sigs.Inputs() {
-		vs := values[strings.ToLower(sig.Name)]
-		if len(vs) != 1 {
-			continue
-		}
-		only := ""
-		for v := range vs {
-			only = v
-		}
-		// Re-assigning exactly the initial status means the input never
-		// leaves its resting state at all.
-		note := ""
-		if strings.EqualFold(only, sig.Init) {
-			note = " (and it equals the initial status)"
-		}
-		out = append(out, Finding{Warning, "never-toggled",
-			fmt.Sprintf("input signal %q is only ever assigned status %q%s", sig.Name, only, note)})
 	}
 	return out
 }

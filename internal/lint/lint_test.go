@@ -181,7 +181,10 @@ test step;dt;I
 }
 
 func TestWarningsFilterAndStrings(t *testing.T) {
-	fs := []Finding{{Info, "a", "x"}, {Warning, "b", "y"}}
+	fs := []Finding{
+		{Severity: Info, Code: "a", Msg: "x"},
+		{Severity: Warning, Code: "b", Msg: "y"},
+	}
 	w := Warnings(fs)
 	if len(w) != 1 || w[0].Code != "b" {
 		t.Errorf("Warnings = %v", w)
@@ -226,14 +229,14 @@ func TestCoverageGaps(t *testing.T) {
 		t.Errorf("rear-door gaps missing from %v", gaps)
 	}
 	// Limit findings are quality issues, not coverage gaps.
-	mixed := append(gaps, Finding{Warning, "inverted-limits", `status "X" has min 2 above max 1`})
+	mixed := append(gaps, Finding{Severity: Warning, Code: "inverted-limits", Msg: `status "X" has min 2 above max 1`})
 	if n := len(CoverageGaps(mixed)); n != len(gaps) {
 		t.Errorf("inverted-limits leaked into gaps (%d != %d)", n, len(gaps))
 	}
 }
 
 func TestFindingMentions(t *testing.T) {
-	f := Finding{Warning, "unstimulated-input", `input signal "DS_RL" is never stimulated by any test`}
+	f := Finding{Severity: Warning, Code: "unstimulated-input", Msg: `input signal "DS_RL" is never stimulated by any test`}
 	if !f.Mentions("DS_RL") || !f.Mentions("ds_rl") {
 		t.Error("Mentions misses the quoted signal")
 	}

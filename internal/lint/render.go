@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WorkbookReport is the vet result for one workbook file.
+type WorkbookReport struct {
+	File       string    `json:"file"`
+	Findings   []Finding `json:"findings"`
+	Suppressed int       `json:"suppressed,omitempty"`
+}
+
+// Report is the vet result for a whole invocation.
+type Report struct {
+	Workbooks []WorkbookReport `json:"workbooks"`
+}
+
+// Count tallies findings at or above the severity.
+func (r *Report) Count(min Severity) int {
+	n := 0
+	for _, wb := range r.Workbooks {
+		for _, f := range wb.Findings {
+			if f.Severity >= min {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WriteText renders findings one per line, anchored at file:line when
+// the position is known:
+//
+//	testdata/x.csw:17: error unsatisfiable-limits: ... (StatusDefinition row 3)
+func WriteText(w io.Writer, r *Report) error {
+	for _, wb := range r.Workbooks {
+		for _, f := range wb.Findings {
+			anchor := wb.File
+			if f.Pos.Line > 0 {
+				anchor = fmt.Sprintf("%s:%d", wb.File, f.Pos.Line)
+			}
+			loc := ""
+			if p := f.Pos.String(); p != "" {
+				loc = " (" + p + ")"
+			}
+			if _, err := fmt.Fprintf(w, "%s: %s%s\n", anchor, f.String(), loc); err != nil {
+				return err
+			}
+		}
+		if wb.Suppressed > 0 {
+			if _, err := fmt.Fprintf(w, "%s: %d finding(s) suppressed by %s directives\n",
+				wb.File, wb.Suppressed, IgnoreDirective); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON with a trailing
+// newline. Field order is fixed by the struct definitions and findings
+// are position-sorted by Run, so the output is byte-stable.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ------------------------------------------------------------- SARIF --
+
+// Minimal SARIF 2.1.0 document: one run, one rule per registered
+// analyzer, one result per finding. Enough for the GitHub code-scanning
+// API and for SARIF viewers to anchor findings at workbook lines.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "note"
+}
+
+// WriteSARIF renders the report as a SARIF 2.1.0 document.
+func WriteSARIF(w io.Writer, r *Report) error {
+	driver := sarifDriver{Name: "comptest vet"}
+	for _, a := range Analyzers() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, wb := range r.Workbooks {
+		for _, f := range wb.Findings {
+			res := sarifResult{
+				RuleID:  f.Code,
+				Level:   sarifLevel(f.Severity),
+				Message: sarifMessage{Text: f.Msg},
+			}
+			loc := sarifLocation{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: wb.File},
+			}}
+			if f.Pos.Line > 0 {
+				loc.PhysicalLocation.Region = &sarifRegion{StartLine: f.Pos.Line}
+			}
+			res.Locations = append(res.Locations, loc)
+			run.Results = append(run.Results, res)
+		}
+	}
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}

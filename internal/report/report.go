@@ -3,6 +3,8 @@
 // that led there. Writers produce an aligned text table (for engineers),
 // CSV (for spreadsheets — fitting, given the tool chain's front end) and
 // XML (for archiving next to the test scripts).
+//
+//lint:deterministic
 package report
 
 import (

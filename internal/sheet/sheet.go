@@ -35,6 +35,13 @@ import (
 type Sheet struct {
 	Name string
 	Rows [][]string
+
+	// lines maps row index to the 1-based line number of the source
+	// stream the row was read from. Only ReadWorkbook fills it;
+	// programmatically built sheets have no source lines. The static
+	// analyzers (internal/lint) use it to anchor findings at real file
+	// positions — SARIF viewers and editors address .csw files by line.
+	lines []int
 }
 
 // Workbook is an ordered collection of sheets with unique names.
@@ -76,6 +83,27 @@ func (s *Sheet) AppendRow(cells ...string) {
 
 // NumRows returns the number of rows.
 func (s *Sheet) NumRows() int { return len(s.Rows) }
+
+// RowLine returns the 1-based source line row i was read from, or 0
+// when the sheet was not read from a stream (or the row is synthetic).
+func (s *Sheet) RowLine(i int) int {
+	if i < 0 || i >= len(s.lines) {
+		return 0
+	}
+	return s.lines[i]
+}
+
+// SetRowLine records the source line of row i (used by ReadWorkbook;
+// exported for tools that splice sheets while preserving positions).
+func (s *Sheet) SetRowLine(i, line int) {
+	if i < 0 {
+		return
+	}
+	for len(s.lines) <= i {
+		s.lines = append(s.lines, 0)
+	}
+	s.lines[i] = line
+}
 
 // NumCols returns the width of the widest row.
 func (s *Sheet) NumCols() int {
@@ -189,6 +217,7 @@ func ReadWorkbook(r io.Reader) (*Workbook, error) {
 			return nil, fmt.Errorf("sheet: line %d: %v", lineNo, err)
 		}
 		cur.Rows = append(cur.Rows, cells)
+		cur.SetRowLine(len(cur.Rows)-1, lineNo)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("sheet: read: %v", err)

@@ -125,6 +125,13 @@ type Signal struct {
 
 	// Doc is the free-text description column.
 	Doc string
+
+	// Row is the 1-based sheet row the signal was parsed from and Line
+	// the 1-based source line of the workbook file (0 when the signal
+	// was built programmatically). The static analyzers use them to
+	// anchor findings.
+	Row  int
+	Line int
 }
 
 // Pins returns the electrical pins the signal touches (0, 1 or 2 names).
@@ -142,6 +149,10 @@ func (s *Signal) Pins() []string {
 type List struct {
 	byName map[string]*Signal
 	order  []string
+
+	// SheetName is the name of the sheet the list was parsed from
+	// ("" for programmatically built lists).
+	SheetName string
 }
 
 // NewList returns an empty signal list.
@@ -298,6 +309,7 @@ func ParseSheet(s *sheet.Sheet) (*List, error) {
 		}
 	}
 	l := NewList()
+	l.SheetName = s.Name
 	for r := 1; r < s.NumRows(); r++ {
 		if s.IsEmptyRow(r) {
 			continue
@@ -320,6 +332,8 @@ func ParseSheet(s *sheet.Sheet) (*List, error) {
 			Name:      get("signal"),
 			Direction: dir,
 			Class:     cls,
+			Row:       r + 1,
+			Line:      s.RowLine(r),
 			Pin:       get("pin"),
 			PinRet:    get("pinret"),
 			Message:   get("message"),

@@ -49,6 +49,13 @@ type Status struct {
 
 	// Desc is the resolved method descriptor (set by Table parsing).
 	Desc *method.Descriptor
+
+	// Row is the 1-based sheet row the status was parsed from and Line
+	// the 1-based source line of the workbook file (0 for
+	// programmatically built rows). The static analyzers use them to
+	// anchor findings.
+	Row  int
+	Line int
 }
 
 // Table is the parsed status definition sheet.
@@ -56,6 +63,10 @@ type Table struct {
 	byName map[string]*Status
 	order  []string
 	reg    *method.Registry
+
+	// SheetName is the name of the sheet the table was parsed from
+	// ("" for programmatically built tables).
+	SheetName string
 }
 
 // NewTable returns an empty table bound to a method registry.
@@ -352,6 +363,7 @@ func ParseSheet(s *sheet.Sheet, reg *method.Registry) (*Table, error) {
 		}
 	}
 	t := NewTable(reg)
+	t.SheetName = s.Name
 	for r := 1; r < s.NumRows(); r++ {
 		if s.IsEmptyRow(r) {
 			continue
@@ -371,6 +383,8 @@ func ParseSheet(s *sheet.Sheet, reg *method.Registry) (*Table, error) {
 			Min:    get("min"),
 			Max:    get("max"),
 			D:      [3]string{get("d1"), get("d2"), get("d3")},
+			Row:    r + 1,
+			Line:   s.RowLine(r),
 		}
 		if err := t.Add(st); err != nil {
 			return nil, fmt.Errorf("status: sheet %q row %d: %v", s.Name, r+1, err)

@@ -45,6 +45,13 @@ type Step struct {
 	Assign []Assignment
 	// Remark is the free-text remark column.
 	Remark string
+
+	// Row is the 1-based sheet row the step was parsed from and Line
+	// the 1-based source line of the workbook file (0 for
+	// programmatically built steps). The static analyzers use them to
+	// anchor findings.
+	Row  int
+	Line int
 }
 
 // Lookup returns the status assigned to the signal in this step, if any.
@@ -66,6 +73,19 @@ type TestCase struct {
 	Signals []string
 	// Steps is the ordered step list.
 	Steps []Step
+	// SheetName is the name of the sheet the test was parsed from
+	// ("" for programmatically built tests) and HeaderLine the 1-based
+	// source line of its header row (0 when unknown).
+	SheetName  string
+	HeaderLine int
+	// sigCol maps lower-cased signal names to their 1-based sheet column.
+	sigCol map[string]int
+}
+
+// ColumnOf returns the 1-based sheet column of the named signal column,
+// or 0 when unknown (programmatically built tests carry no columns).
+func (tc *TestCase) ColumnOf(signal string) int {
+	return tc.sigCol[strings.ToLower(strings.TrimSpace(signal))]
 }
 
 // Duration returns the total nominal duration of the test in seconds.
@@ -172,7 +192,10 @@ func ParseSheet(s *sheet.Sheet) (*TestCase, error) {
 	}
 
 	name := strings.TrimPrefix(s.Name, SheetPrefix)
-	tc := &TestCase{Name: name, Signals: signals}
+	tc := &TestCase{Name: name, Signals: signals, SheetName: s.Name, HeaderLine: s.RowLine(0), sigCol: map[string]int{}}
+	for i, sig := range sigCols {
+		tc.sigCol[strings.ToLower(sig)] = i + 1
+	}
 	for r := 1; r < s.NumRows(); r++ {
 		if s.IsEmptyRow(r) {
 			continue
@@ -191,7 +214,7 @@ func ParseSheet(s *sheet.Sheet) (*TestCase, error) {
 		if err != nil {
 			return nil, fmt.Errorf("testdef: sheet %q row %d: dt: %v", s.Name, r+1, err)
 		}
-		step := Step{Index: idx, Dt: dt}
+		step := Step{Index: idx, Dt: dt, Row: r + 1, Line: s.RowLine(r)}
 		if remarksCol >= 0 {
 			step.Remark = strings.TrimSpace(s.At(r, remarksCol))
 		}
