@@ -52,6 +52,7 @@ import (
 	"repro/internal/knowledge"
 	"repro/internal/lint"
 	"repro/internal/method"
+	"repro/internal/obs"
 	"repro/internal/paper"
 	"repro/internal/report"
 	"repro/internal/resource"
@@ -131,7 +132,7 @@ subcommands:
          [-killmatrix FILE] [-builtins] [WORKBOOK...]
                                                    static analysis over workbooks; exits
                                                    nonzero on error findings not in the baseline
-  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE] [-coordinator URL]
+  run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE] [-trace FILE] [-coordinator URL]
   mutate [-workbook FILE] [-dut NAME] [-stand NAME] [-all] [-parallel N] [-format text|json]
                                                    mutation kill matrix + test-strength report
   explore [-workbook FILE] [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N]
@@ -139,9 +140,11 @@ subcommands:
                                                    coverage-guided scenario exploration
   serve  [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N]
          [-workers-remote] [-shard-units N] [-lease DUR]
+         [-metrics-addr HOST:PORT] [-debug-addr HOST:PORT]
                                                    campaign-execution service (HTTP JSON job API);
-                                                   -workers-remote shards jobs across joined workers
-  worker -join URL [-addr HOST:PORT] [-name NAME] [-workers N] [-parallel N]
+                                                   -workers-remote shards jobs across joined workers;
+                                                   /metrics and /healthz are always on -addr
+  worker -join URL [-addr HOST:PORT] [-name NAME] [-workers N] [-parallel N] [-debug-addr HOST:PORT]
                                                    execution node for a -workers-remote coordinator
   version                                          module + go toolchain version
   reuse  [-workbook FILE]                          cross-stand reuse matrix
@@ -457,6 +460,7 @@ func cmdRun(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 1, "run up to N scripts concurrently, each on its own stand instance")
 	format := fs.String("format", "text", "report format: text, csv, xml, junit or ndjson")
 	junitPath := fs.String("junit", "", "also write the campaign as one JUnit <testsuites> file")
+	tracePath := fs.String("trace", "", "write the campaign trace to FILE as NDJSON spans (campaign → unit → step, byte-stable across reruns)")
 	coordinator := fs.String("coordinator", "", "submit the campaign to this coordinator/serve URL instead of executing locally")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -470,7 +474,7 @@ func cmdRun(args []string, out io.Writer) error {
 		if *fault != "" {
 			faults = []string{*fault}
 		}
-		return runRemote(*coordinator, *workbook, *standName, *dutName, faults, *parallel, write, *junitPath, out)
+		return runRemote(*coordinator, *workbook, *standName, *dutName, faults, *parallel, write, *junitPath, *tracePath, out)
 	}
 	suite, _, err := loadWorkbook(*workbook, builtinFor(*dutName))
 	if err != nil {
@@ -516,16 +520,44 @@ func cmdRun(args []string, out io.Writer) error {
 			cancel()
 		}
 	}))
-	r, err := comptest.NewRunner(
+	opts := []comptest.Option{
 		comptest.WithStand(*standName),
 		comptest.WithDUTFactory(factory),
 		comptest.WithParallelism(*parallel),
 		comptest.WithSink(sink),
+	}
+	units := comptest.Cross(scripts, []string{*standName}, "")
+	var (
+		tracer    *comptest.Tracer
+		spans     *report.SpanWriter
+		traceFile *os.File
 	)
+	if *tracePath != "" {
+		if traceFile, err = os.Create(*tracePath); err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		spans = report.NewSpanWriter(traceFile)
+		tracer = comptest.NewTracer(spans)
+		tracer.Attach(units)
+		opts = append(opts, comptest.WithSink(tracer))
+	}
+	r, err := comptest.NewRunner(opts...)
 	if err != nil {
 		return err
 	}
-	sum, err := r.Campaign(ctx, comptest.Cross(scripts, []string{*standName}, ""))
+	sum, err := r.Campaign(ctx, units)
+	if tracer != nil {
+		// Flush even on a red or errored campaign: a partial trace of
+		// what DID run is exactly the debugging artefact -trace is for.
+		tracer.Flush()
+		if serr := spans.Err(); serr != nil {
+			return serr
+		}
+		if cerr := traceFile.Close(); cerr != nil {
+			return cerr
+		}
+	}
 	// The JUnit file records whatever completed, even when the campaign
 	// fails — a red run is exactly what CI wants to ingest.
 	if *junitPath != "" {
@@ -558,13 +590,14 @@ func cmdRun(args []string, out io.Writer) error {
 // report with the chosen format writer and maps the remote verdict to
 // the exit code — `comptest run` semantics, execution elsewhere.
 func runRemote(base, workbook, standName, dutName string, faults []string,
-	parallel int, write func(io.Writer, *report.Report) error, junitPath string, out io.Writer) error {
+	parallel int, write func(io.Writer, *report.Report) error, junitPath, tracePath string, out io.Writer) error {
 	spec := serve.JobSpec{
 		Kind:        serve.KindCampaign,
 		DUT:         dutName,
 		Stand:       standName,
 		Faults:      faults,
 		Parallelism: parallel,
+		Trace:       tracePath != "",
 	}
 	if workbook != "" {
 		wb, err := os.ReadFile(workbook)
@@ -628,6 +661,30 @@ func runRemote(base, workbook, standName, dutName string, faults []string,
 		reports = append(reports, rep)
 		if err := write(out, rep); err != nil {
 			return err
+		}
+	}
+	// The stream just ended, so the job is terminal and its trace log —
+	// populated job-side by the same Tracer the local path uses — is
+	// complete and identical to what a local -trace run would write.
+	if tracePath != "" {
+		tr, err := http.Get(base + "/v1/jobs/" + st.ID + "/trace")
+		if err != nil {
+			return err
+		}
+		defer tr.Body.Close()
+		if tr.StatusCode != http.StatusOK {
+			return fmt.Errorf("run: trace status %d", tr.StatusCode)
+		}
+		f, ferr := os.Create(tracePath)
+		if ferr != nil {
+			return ferr
+		}
+		_, ferr = io.Copy(f, tr.Body)
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			return ferr
 		}
 	}
 	// Like the local path, the JUnit file records whatever completed —
@@ -851,6 +908,8 @@ func cmdServe(args []string, out io.Writer) error {
 	remote := fs.Bool("workers-remote", false, "coordinate remote workers: shard jobs across nodes joined via 'comptest worker -join'")
 	shardUnits := fs.Int("shard-units", 4, "max campaign units per shard (with -workers-remote)")
 	lease := fs.Duration("lease", 15*time.Second, "worker lease: a node silent this long is not scheduled (with -workers-remote)")
+	metricsAddr := fs.String("metrics-addr", "", "also serve /metrics on this address (it is always on -addr; this adds a listener scrapers can reach when -addr is firewalled)")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof on this address (profiler off unless set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -861,6 +920,7 @@ func cmdServe(args []string, out io.Writer) error {
 	}
 	var (
 		handler http.Handler
+		metrics http.Handler
 		closeFn func()
 		mode    string
 	)
@@ -870,14 +930,31 @@ func cmdServe(args []string, out io.Writer) error {
 			ShardUnits: *shardUnits,
 			LeaseTTL:   *lease,
 		})
-		handler, closeFn = coord.Handler(), coord.Close
+		handler, metrics, closeFn = coord.Handler(), coord.MetricsHandler(), coord.Close
 		mode = fmt.Sprintf("coordinator, shard-units %d; join workers with 'comptest worker -join URL'", *shardUnits)
 	} else {
 		srv := serve.New(serveOpts)
-		handler, closeFn = srv.Handler(), srv.Close
+		handler, metrics, closeFn = srv.Handler(), srv.Metrics().Handler(), srv.Close
 		mode = "single node"
 	}
 	defer closeFn()
+
+	if *metricsAddr != "" {
+		stopMetrics, maddr, err := serveAux(*metricsAddr, "/metrics", metrics)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		fmt.Fprintf(out, "comptest serve: metrics on http://%s/metrics\n", maddr)
+	}
+	if *debugAddr != "" {
+		stopDebug, daddr, err := serveAux(*debugAddr, "/debug/pprof/", obs.DebugHandler())
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Fprintf(out, "comptest serve: pprof on http://%s/debug/pprof/\n", daddr)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -916,6 +993,21 @@ func cmdServe(args []string, out io.Writer) error {
 	}
 }
 
+// serveAux starts one side-channel listener (metrics or pprof) beside
+// the main API. The returned stop closes it; the serve error that
+// follows Close is the normal shutdown path and is dropped.
+func serveAux(addr, path string, h http.Handler) (func(), string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle(path, h)
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	return func() { _ = hs.Close() }, ln.Addr().String(), nil
+}
+
 // cmdWorker runs one execution node: a local serve engine on its own
 // port, registered and heartbeating with a -workers-remote
 // coordinator, executing the shards dispatched to it.
@@ -927,11 +1019,20 @@ func cmdWorker(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 2, "shards executed concurrently (advertised as capacity)")
 	parallel := fs.Int("parallel", 1, "default per-shard worker-pool bound")
 	queue := fs.Int("queue", 16, "bounded shard queue depth")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof on this address (profiler off unless set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *join == "" {
 		return fmt.Errorf("worker: -join URL is required")
+	}
+	if *debugAddr != "" {
+		stopDebug, daddr, err := serveAux(*debugAddr, "/debug/pprof/", obs.DebugHandler())
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Fprintf(out, "comptest worker: pprof on http://%s/debug/pprof/\n", daddr)
 	}
 	w, err := dist.StartWorker(dist.WorkerOptions{
 		Coordinator: *join,

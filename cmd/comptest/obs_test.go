@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// syncBuffer is an io.Writer safe to read while the serve goroutine is
+// still writing to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunTraceFile: `run -trace FILE` writes the campaign's span tree
+// as NDJSON, byte-identical across reruns and -parallel settings — the
+// CLI half of the byte-stability acceptance criterion.
+func TestRunTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name string, parallel string) []byte {
+		path := filepath.Join(dir, name)
+		out, err := runCLI(t, "run", "-dut", "central_locking", "-stand", "full_lab",
+			"-parallel", parallel, "-trace", path)
+		if err != nil {
+			t.Fatalf("run -trace: %v\n%s", err, out)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq := runOnce("seq.ndjson", "1")
+	par := runOnce("par.ndjson", "4")
+	if !bytes.Equal(seq, par) {
+		t.Errorf("trace differs across -parallel:\n--- p=1 ---\n%s--- p=4 ---\n%s", seq, par)
+	}
+
+	spans, err := report.DecodeSpans(bytes.NewReader(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var campaigns, units, steps int
+	for _, s := range spans {
+		switch s.Kind {
+		case report.SpanCampaign:
+			campaigns++
+			if s.Verdict != "pass" {
+				t.Errorf("campaign span verdict %q", s.Verdict)
+			}
+		case report.SpanUnit:
+			units++
+		case report.SpanStep:
+			steps++
+		}
+	}
+	if campaigns != 1 || units != 4 || steps == 0 {
+		t.Errorf("span tree: %d campaigns, %d units, %d steps; want 1/4/>0",
+			campaigns, units, steps)
+	}
+}
+
+// TestRunTraceBadPath: an uncreatable trace file fails up front, before
+// any simulation runs.
+func TestRunTraceBadPath(t *testing.T) {
+	if _, err := runCLI(t, "run", "-trace", "/no/such/dir/trace.ndjson"); err == nil {
+		t.Error("uncreatable -trace path accepted")
+	}
+}
+
+// TestServeObservability boots `serve -metrics-addr :0 -debug-addr :0`,
+// runs a job, and checks all three listeners: the job API's own
+// /metrics, the dedicated metrics listener (same registry), and the
+// opt-in pprof listener — which must NOT leak onto the main mux.
+func TestServeObservability(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrs := make(chan string, 1)
+	serveCtx, serveReady = ctx, func(a string) { addrs <- a }
+	defer func() { serveCtx, serveReady = nil, nil }()
+
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-workers", "1",
+			"-metrics-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"}, out)
+	}()
+	base := "http://" + <-addrs
+
+	// The aux listeners print their resolved addresses before the main
+	// listener announces readiness.
+	text := out.String()
+	find := func(re string) string {
+		m := regexp.MustCompile(re).FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("serve output lacks %q:\n%s", re, text)
+		}
+		return m[1]
+	}
+	metricsURL := find(`metrics on (http://[^\s]+/metrics)`)
+	pprofURL := find(`pprof on (http://[^\s]+/debug/pprof/)`)
+
+	get := func(url string) (int, string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Run one job so the counters move.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := decodeInto(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	get(base + "/v1/jobs/" + st.ID + "/stream") // blocks until terminal
+
+	for _, url := range []string{base + "/metrics", metricsURL} {
+		code, body := get(url)
+		if code != http.StatusOK || !strings.Contains(body, `comptest_jobs{state="done"} 1`) {
+			t.Errorf("%s: code %d, missing done-job gauge:\n%.400s", url, code, body)
+		}
+	}
+	if code, body := get(pprofURL); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: code %d:\n%.200s", code, body)
+	}
+	if code, _ := get(base + "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof leaked onto the main mux: %d, want 404", code)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve shutdown: %v", err)
+	}
+}
+
+func decodeInto(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/comptest"
 	"repro/comptest/serve"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -82,20 +83,41 @@ type Coordinator struct {
 	stop      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// Telemetry: the registry is shared with the embedded serve.Server,
+	// so the coordinator's dist_* families and the server's comptest_*
+	// families render from one /metrics handler (see metrics.go).
+	metrics          *obs.Registry
+	mRequeues        *obs.Counter
+	mLeaseExpiries   *obs.Counter
+	mShardsCompleted *obs.Counter
+	mShardsLocal     *obs.Counter
+	mScrapeErrors    *obs.Counter
+	mergerMu         sync.Mutex
+	mergers          map[*report.Merger]struct{}
 }
 
 // New builds a Coordinator and its embedded job server.
 func New(opts Options) *Coordinator {
 	opts = opts.withDefaults()
 	c := &Coordinator{
-		opts:   opts,
-		reg:    newRegistry(opts.LeaseTTL, opts.now),
-		client: opts.Client,
-		stop:   make(chan struct{}),
+		opts:    opts,
+		reg:     newRegistry(opts.LeaseTTL, opts.now),
+		client:  opts.Client,
+		stop:    make(chan struct{}),
+		mergers: map[*report.Merger]struct{}{},
 	}
 	serveOpts := opts.Serve
 	serveOpts.Executor = c.execute
+	if serveOpts.Metrics == nil {
+		serveOpts.Metrics = obs.NewRegistry()
+	}
+	c.metrics = serveOpts.Metrics
 	c.srv = serve.New(serveOpts)
+	c.registerMetrics()
+	// Counted under the registry lock at the moment liveness flips, so
+	// one lapse is one increment no matter how many goroutines observe it.
+	c.reg.onExpire = c.mLeaseExpiries.Inc
 	// Lease expiry is time-based and has no event to broadcast on; a
 	// slow ticker wakes blocked acquires so they can re-evaluate
 	// liveness (and fall back to local execution when the fleet died).
@@ -147,6 +169,9 @@ func (c *Coordinator) Close() {
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", c.srv.Handler())
+	// More specific than the "/" mount, so the fleet-aggregated view
+	// shadows the embedded server's node-local /metrics here.
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("POST /v1/workers", c.handleRegister)
 	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
 	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", c.handleHeartbeat)
@@ -226,6 +251,12 @@ var errBusy = errors.New("dist: worker queue full")
 
 // execute is the serve.Executor of the coordinator.
 func (c *Coordinator) execute(ctx context.Context, ex serve.Execution) (string, error) {
+	if ex.Spec.Trace {
+		// Unit spans live on one simulated timeline; shards on foreign
+		// workers have no shared clock to place them on, so a distributed
+		// trace would be fiction. Fail loudly instead of writing one.
+		return "", permanentf("dist: trace is not supported for distributed campaigns; run it on a single-node serve instance (or `comptest run -trace`)")
+	}
 	if ex.Spec.Kind == serve.KindCampaign {
 		return c.executeCampaign(ctx, ex)
 	}
@@ -323,6 +354,7 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 	shards := chunkShards(names, c.opts.ShardUnits)
 	prog := newProgress(len(shards), ex.OnShards)
 	merger := report.NewMerger(ex.Log)
+	defer c.trackMerger(merger)()
 	tl := &tally{}
 
 	// A fatal shard error (permanent dispatch failure, local fallback
@@ -395,11 +427,13 @@ func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shard
 		}
 		if attempt >= c.opts.MaxAttempts {
 			prog.local()
+			c.mShardsLocal.Inc()
 			return c.runShardLocal(ctx, ex, sh, merger, tl)
 		}
 		ls, err := c.reg.acquire(ctx, n, exclude)
 		if errors.Is(err, ErrNoWorkers) {
 			prog.local()
+			c.mShardsLocal.Inc()
 			return c.runShardLocal(ctx, ex, sh, merger, tl)
 		}
 		if err != nil {
@@ -409,6 +443,7 @@ func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shard
 		c.reg.release(ls.id)
 		if derr == nil {
 			prog.completed(ls.id)
+			c.mShardsCompleted.Inc()
 			return nil
 		}
 		if err := ctx.Err(); err != nil {
@@ -436,6 +471,7 @@ func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shard
 		c.reg.MarkLost(ls.id)
 		exclude[ls.id] = true
 		prog.requeued()
+		c.mRequeues.Inc()
 	}
 }
 
@@ -527,6 +563,10 @@ func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Exec
 	spec.Scripts = sh.names
 	spec.Workbook = string(ex.Art.Source)
 	spec.WorkbookName = ""
+	// Never trace shards: per-worker spans cover fragments of a foreign
+	// timeline and cannot merge into the job's trace, so paying the
+	// observer's solver-sample cost on every worker buys nothing.
+	spec.Trace = false
 	jobID, err := c.submit(sctx, ls.url, spec)
 	if err != nil {
 		return err
@@ -743,6 +783,7 @@ func (c *Coordinator) executeWhole(ctx context.Context, ex serve.Execution) (str
 		ls, err := c.reg.acquire(ctx, n, exclude)
 		if errors.Is(err, ErrNoWorkers) {
 			prog.local()
+			c.mShardsLocal.Inc()
 			return c.srv.ExecuteLocal(ctx, ex)
 		}
 		if err != nil {
@@ -753,6 +794,7 @@ func (c *Coordinator) executeWhole(ctx context.Context, ex serve.Execution) (str
 		c.reg.release(ls.id)
 		if derr == nil {
 			prog.completed(ls.id)
+			c.mShardsCompleted.Inc()
 			return verdict, nil
 		}
 		if err := ctx.Err(); err != nil {
@@ -778,6 +820,7 @@ func (c *Coordinator) executeWhole(ctx context.Context, ex serve.Execution) (str
 		c.reg.MarkLost(ls.id)
 		exclude[ls.id] = true
 		prog.requeued()
+		c.mRequeues.Inc()
 	}
 	return "", fmt.Errorf("dist: %s job failed on %d workers: %w", ex.Spec.Kind, c.opts.MaxAttempts, lastErr)
 }
@@ -788,6 +831,7 @@ func (c *Coordinator) dispatchWhole(ctx context.Context, ls lease, ex serve.Exec
 	spec := ex.Spec
 	spec.Workbook = string(ex.Art.Source)
 	spec.WorkbookName = ""
+	spec.Trace = false // mutate/explore jobs reject the flag anyway
 	jobID, err := c.submit(sctx, ls.url, spec)
 	if err != nil {
 		return "", err

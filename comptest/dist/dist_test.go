@@ -389,6 +389,23 @@ func TestPartialShardRequeuesExactlyOnce(t *testing.T) {
 	if jobs != 1 {
 		t.Errorf("flaky worker got %d jobs, want 1 (shard must move to the survivor)", jobs)
 	}
+
+	// The /metrics counters and the job's ShardStatus are independent
+	// accounts of the same events — they must agree exactly.
+	snap := fleetSnap(t, h.url)
+	if got := int(snap.Value(MetricShardRequeues)); got != final.Shards.Requeued {
+		t.Errorf("%s = %d, want %d (ShardStatus.Requeued)",
+			MetricShardRequeues, got, final.Shards.Requeued)
+	}
+	remote := int(snap.Value(MetricShardsCompleted))
+	local := int(snap.Value(MetricShardsLocal))
+	if remote+local != final.Shards.Completed || local != final.Shards.Local {
+		t.Errorf("shard metrics remote=%d local=%d, want ShardStatus %+v",
+			remote, local, final.Shards)
+	}
+	if got := snap.Value(MetricMergerPending); got != 0 {
+		t.Errorf("%s = %v after the merge completed, want 0", MetricMergerPending, got)
+	}
 }
 
 // hangingWorker accepts a shard and streams nothing until the client

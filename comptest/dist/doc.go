@@ -51,5 +51,15 @@
 // streams carry no unit sequence to dedup on) and are retried only if
 // nothing was relayed yet.
 //
+// The coordinator's GET /metrics answers for the whole fleet: it
+// scrapes every live worker's registry, relabels each series with
+// worker="w-NNNN", and merges them with its own dist_* counters
+// (shard requeues, lease expiries, shards completed/local, pending
+// merge lines, scrape errors) — a dead node costs one
+// dist_scrape_errors_total increment, never the exposition. Trace
+// jobs are rejected up front: shard timelines recorded on foreign
+// workers cannot merge into the one byte-stable span log a
+// single-node run guarantees.
+//
 //lint:deterministic
 package dist

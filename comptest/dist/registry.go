@@ -71,6 +71,7 @@ type workerRec struct {
 
 	lastSeen time.Time
 	lost     bool // marked after a failed dispatch or deregistration
+	expired  bool // lease lapse already counted (reset by heartbeat)
 	active   int  // shards currently leased
 }
 
@@ -103,6 +104,10 @@ type Registry struct {
 	recs   map[string]*workerRec
 	order  []string // registration order, for stable snapshots
 	closed bool
+
+	// onExpire fires (under mu) the first time a worker's lease lapses,
+	// once per lapse: the coordinator counts these for /metrics.
+	onExpire func()
 }
 
 func newRegistry(ttl time.Duration, now func() time.Time) *Registry {
@@ -182,6 +187,7 @@ func (r *Registry) Heartbeat(id string) bool {
 	}
 	rec.lastSeen = r.now()
 	rec.lost = false
+	rec.expired = false // the next lapse counts afresh
 	r.cond.Broadcast()
 	return true
 }
@@ -207,7 +213,21 @@ func (r *Registry) MarkLost(id string) {
 }
 
 func (r *Registry) live(rec *workerRec) bool {
-	return !rec.lost && r.now().Sub(rec.lastSeen) <= r.ttl
+	if rec.lost {
+		return false
+	}
+	if r.now().Sub(rec.lastSeen) <= r.ttl {
+		return true
+	}
+	// Count the lapse exactly once per silence: every liveness check
+	// holds mu, so the first one past the deadline flips the latch.
+	if !rec.expired {
+		rec.expired = true
+		if r.onExpire != nil {
+			r.onExpire()
+		}
+	}
+	return false
 }
 
 // Snapshot lists every registered worker in registration order.

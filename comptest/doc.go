@@ -60,4 +60,10 @@
 // positions, per-row "lint:ignore CODE" suppression and a ratcheting
 // baseline; the serve job API exposes the same engine as the "vet" job
 // kind, streaming one finding per NDJSON line.
+//
+// A Tracer (NewTracer, attached via WithSink) records every campaign
+// as a span tree — campaign → unit → step, with simulated-time
+// durations — on the as-if-sequential timeline the deterministic
+// scheduler already guarantees, so the NDJSON trace a run emits is
+// byte-identical across -parallel settings and reruns.
 package comptest

@@ -41,6 +41,13 @@
 // jobs across remote workers (a JobSpec's Scripts field selects the
 // shard's script subset; ShardStatus reports distribution progress).
 //
+// The server is observable in production terms: GET /metrics exposes
+// an internal/obs registry (queue depth, jobs by state, worker-pool
+// utilization, cache hits/misses, unit throughput, NDJSON bytes) in
+// Prometheus text or JSON, /healthz derives from the same registry so
+// the two can never disagree, and a trace-enabled campaign job serves
+// its span log at GET /v1/jobs/{id}/trace.
+//
 // The serve CLI subcommand (cmd/comptest) wraps this package; tests
 // drive it through net/http/httptest.
 package serve

@@ -55,6 +55,12 @@ type JobSpec struct {
 	Budget int   `json:"budget,omitempty"`
 	// Oracle lists fault names used as explore kill oracles.
 	Oracle []string `json:"oracle,omitempty"`
+	// Trace enables structured span tracing for campaign jobs: the
+	// execution timeline (campaign → unit → step) streams as NDJSON
+	// from GET /v1/jobs/{id}/trace. Off by default — the attached
+	// observer makes the solver sample outputs every stand.TracePeriod,
+	// which is measurable extra work on the hot path.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // normalize resolves the spec's defaults in place and validates the
@@ -81,6 +87,9 @@ func (sp *JobSpec) normalize() (string, error) {
 	}
 	if (sp.Seed != 0 || sp.Budget != 0) && sp.Kind != KindExplore {
 		return "", fmt.Errorf("seed and budget only apply to explore jobs")
+	}
+	if sp.Trace && sp.Kind != KindCampaign {
+		return "", fmt.Errorf("trace only applies to campaign jobs")
 	}
 	if sp.DUT == "" {
 		if sp.WorkbookName != "" {
@@ -200,6 +209,9 @@ type Job struct {
 	spec JobSpec
 	art  *Artifact
 	log  *resultLog
+	// trace is the span NDJSON log of a "trace": true campaign job;
+	// nil otherwise.
+	trace *resultLog
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -247,6 +259,9 @@ func (j *Job) finish(s State, verdict, errmsg string) {
 	j.errmsg = errmsg
 	j.mu.Unlock()
 	j.log.close()
+	if j.trace != nil {
+		j.trace.close()
+	}
 }
 
 // Status snapshots the job for the API.
@@ -301,6 +316,10 @@ type resultLog struct {
 	cond   *sync.Cond
 	lines  [][]byte // guarded by mu
 	closed bool     // guarded by mu
+	// onAppend, when non-nil, observes every appended line's byte
+	// length (the server's throughput counters). Set before the first
+	// Write and never changed after.
+	onAppend func(n int)
 }
 
 func newResultLog() *resultLog {
@@ -317,6 +336,9 @@ func (l *resultLog) Write(p []byte) (int, error) {
 	l.lines = append(l.lines, line)
 	l.cond.Broadcast()
 	l.mu.Unlock()
+	if l.onAppend != nil {
+		l.onAppend(len(p))
+	}
 	return len(p), nil
 }
 

@@ -8,11 +8,15 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/comptest"
 	"repro/comptest/explore"
 	"repro/comptest/mutation"
 	"repro/internal/lint"
+	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/stand"
 )
 
@@ -46,6 +50,15 @@ type Options struct {
 	// moves. An Executor that wants the local behaviour for some jobs
 	// calls Server.ExecuteLocal.
 	Executor Executor
+	// Metrics is the registry the server's telemetry registers into;
+	// nil builds a private one. Passing a shared registry lets an
+	// embedding process (the dist coordinator, the CLI's -metrics-addr
+	// listener) expose its own series alongside the server's.
+	Metrics *obs.Registry
+	// Now is the wall clock used for job-duration telemetry; nil means
+	// obs.Wall. Injectable so tests pin durations and the deterministic
+	// layers never read time.Now themselves.
+	Now func() time.Time
 }
 
 // Executor runs one job to completion, streaming NDJSON result lines
@@ -74,6 +87,12 @@ type Execution struct {
 	// campaign executions (the server's test hook, threaded through so
 	// a custom Executor's local fallback keeps the same seam).
 	Observer func(unit int) stand.Observer
+
+	// Trace, when non-nil, receives the campaign's structured span
+	// NDJSON (report.SpanWriter framing: one Write per span line). Set
+	// for jobs submitted with "trace": true; GET /v1/jobs/{id}/trace
+	// follows it.
+	Trace io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +111,12 @@ func (o Options) withDefaults() Options {
 	if o.Retention < 1 {
 		o.Retention = 256
 	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Now == nil {
+		o.Now = obs.Wall
+	}
 	return o
 }
 
@@ -106,6 +131,14 @@ type Server struct {
 	cancel context.CancelFunc
 	queue  chan *Job
 	wg     sync.WaitGroup
+
+	metrics     *obs.Registry
+	now         func() time.Time
+	busy        atomic.Int64 // workers currently executing a job
+	units       *obs.Counter
+	streamBytes *obs.Counter
+	jobSeconds  *obs.Histogram
+	unitRate    *obs.Histogram
 
 	mu     sync.Mutex
 	jobs   map[string]*Job // guarded by mu
@@ -124,13 +157,16 @@ func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   opts,
-		cache:  opts.Cache,
-		ctx:    ctx,
-		cancel: cancel,
-		queue:  make(chan *Job, opts.QueueDepth),
-		jobs:   map[string]*Job{},
+		opts:    opts,
+		cache:   opts.Cache,
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *Job, opts.QueueDepth),
+		jobs:    map[string]*Job{},
+		metrics: opts.Metrics,
+		now:     opts.Now,
 	}
+	s.registerMetrics(s.metrics)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -166,8 +202,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	return mux
 }
 
@@ -261,6 +299,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ctx:    jobCtx,
 		cancel: jobCancel,
 		state:  StateQueued,
+	}
+	job.log.onAppend = s.noteLine
+	if spec.Trace {
+		job.trace = newResultLog()
 	}
 
 	s.mu.Lock()
@@ -407,21 +449,52 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	var queued, running, terminal int
-	for _, job := range s.jobs {
-		switch st := job.currentState(); {
-		case st == StateQueued:
-			queued++
-		case st == StateRunning:
-			running++
-		default:
-			terminal++
+// handleTrace replays a traced campaign job's span NDJSON and follows
+// it live, exactly like /stream does for result lines. Jobs submitted
+// without "trace": true have no span log and answer 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if job.trace == nil {
+		writeError(w, http.StatusNotFound, "job %q was not submitted with trace enabled", job.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	stop := context.AfterFunc(r.Context(), job.trace.wake)
+	defer stop()
+	for i := 0; ; i++ {
+		line, ok := job.trace.next(r.Context(), i)
+		if !ok {
+			return
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
 		}
 	}
-	jobs := len(s.jobs)
-	s.mu.Unlock()
+}
+
+// handleHealth answers the liveness probe. Every number is read out of
+// the metrics registry's snapshot — the same func-backed cells /metrics
+// renders — so the two surfaces cannot disagree: there is exactly one
+// source of truth for queue, job-table and cache telemetry.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	state := func(st State) int {
+		return int(snap.CellValue(MetricJobs, obs.Label{Name: "state", Value: string(st)}))
+	}
+	queued, running := state(StateQueued), state(StateRunning)
+	terminal := state(StateDone) + state(StateFailed) + state(StateCancelled)
 	writeJSON(w, http.StatusOK, struct {
 		OK          bool  `json:"ok"`
 		Workers     int   `json:"workers"`
@@ -432,8 +505,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Terminal    int   `json:"terminal"`
 		CacheHits   int64 `json:"cache_hits"`
 		CacheMisses int64 `json:"cache_misses"`
-	}{true, s.opts.Workers, s.opts.QueueDepth, jobs, queued, running, terminal,
-		s.cache.Hits(), s.cache.Misses()})
+	}{
+		OK:          true,
+		Workers:     int(snap.Value(MetricWorkers)),
+		QueueDepth:  int(snap.Value(MetricQueueCapacity)),
+		Jobs:        queued + running + terminal,
+		Queued:      queued,
+		Running:     running,
+		Terminal:    terminal,
+		CacheHits:   int64(snap.Value(MetricCacheHits)),
+		CacheMisses: int64(snap.Value(MetricCacheMisses)),
+	})
 }
 
 // ------------------------------------------------------------- execution --
@@ -448,6 +530,22 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	job.setState(StateRunning)
+	s.busy.Add(1)
+	started := s.now()
+	defer func() {
+		// Completed-job telemetry: wall duration and unit throughput
+		// (result lines per second; sub-resolution durations clamp so
+		// the rate stays finite).
+		elapsed := s.now().Sub(started).Seconds()
+		s.jobSeconds.Observe(elapsed)
+		if lines := job.log.len(); lines > 0 {
+			if elapsed <= 0 {
+				elapsed = 1e-9
+			}
+			s.unitRate.Observe(float64(lines) / elapsed)
+		}
+		s.busy.Add(-1)
+	}()
 
 	ex := Execution{
 		Spec: job.spec,
@@ -481,6 +579,11 @@ func (s *Server) runJob(job *Job) {
 	}
 	if s.observe != nil {
 		ex.Observer = func(unit int) stand.Observer { return s.observe(job, unit) }
+	}
+	// Assigned conditionally: a nil *resultLog in the io.Writer field
+	// would read as a non-nil interface.
+	if job.trace != nil {
+		ex.Trace = job.trace
 	}
 
 	exec := s.opts.Executor
@@ -528,22 +631,38 @@ func (s *Server) runCampaign(ctx context.Context, ex Execution) (string, error) 
 		return "", err
 	}
 	units := comptest.Cross(scripts, []string{ex.Spec.Stand}, "")
+	// The tracer rides the same per-unit Observer seam as the server's
+	// test hook; MultiObserver composes the two when both are present.
+	var tracer *comptest.Tracer
+	if ex.Trace != nil {
+		tracer = comptest.NewTracer(report.NewSpanWriter(ex.Trace))
+	}
 	for i := range units {
 		units[i].Factory = factory
 		if ex.Observer != nil {
 			units[i].Observer = ex.Observer(i)
 		}
+		if tracer != nil {
+			units[i].Observer = stand.MultiObserver(units[i].Observer, tracer.Observer(i))
+		}
 	}
 	sink := comptest.NDJSON(ex.Log)
-	runner, err := comptest.NewRunner(
+	opts := []comptest.Option{
 		comptest.WithStand(ex.Spec.Stand),
 		comptest.WithParallelism(ex.Spec.Parallelism),
 		comptest.WithSink(comptest.Ordered(sink)),
-	)
+	}
+	if tracer != nil {
+		opts = append(opts, comptest.WithSink(tracer))
+	}
+	runner, err := comptest.NewRunner(opts...)
 	if err != nil {
 		return "", err
 	}
 	sum, err := runner.Campaign(ctx, units)
+	if tracer != nil {
+		tracer.Flush()
+	}
 	if ex.OnCampaign != nil {
 		ex.OnCampaign(CampaignStatus{Units: sum.Units, Passed: sum.Passed,
 			Failed: sum.Failed, Errored: sum.Errored, Skipped: sum.Skipped})

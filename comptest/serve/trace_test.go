@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// traceRaw fetches the job's complete span NDJSON, blocking until the
+// job is terminal (the trace log only closes then).
+func (ts *testServer) traceRaw(t *testing.T, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.url + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace %s: status %d", id, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestTraceEndpointEndToEnd: a "trace": true campaign job streams a
+// complete span tree from /trace whose durations reconcile with the
+// campaign timeline, and the bytes are identical across reruns at
+// different parallelism — the service-level half of the ISSUE's
+// byte-stability acceptance criterion.
+func TestTraceEndpointEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	run := func(parallelism int) []byte {
+		st := ts.submit(t, fmt.Sprintf(`{"trace":true,"parallelism":%d}`, parallelism))
+		fin := ts.wait(t, st.ID)
+		if fin.State != StateDone || fin.Verdict != "green" {
+			t.Fatalf("job = %s/%s (%s)", fin.State, fin.Verdict, fin.Error)
+		}
+		return ts.traceRaw(t, st.ID)
+	}
+	seq := run(1)
+	par := run(4)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("trace bytes differ across parallelism:\n--- p=1 ---\n%s--- p=4 ---\n%s", seq, par)
+	}
+
+	spans, err := report.DecodeSpans(bytes.NewReader(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("empty trace")
+	}
+	last := spans[len(spans)-1]
+	if last.Kind != report.SpanCampaign || last.Verdict != "pass" {
+		t.Errorf("closing span = %+v, want passing campaign", last)
+	}
+	var unitSum int64
+	for _, s := range spans {
+		if s.Kind == report.SpanUnit {
+			unitSum += s.DurNS
+		}
+	}
+	if last.DurNS != unitSum || unitSum == 0 {
+		t.Errorf("campaign dur %d != unit sum %d", last.DurNS, unitSum)
+	}
+}
+
+// TestTraceOptIn: jobs without "trace": true expose no trace log —
+// tracing costs solver samples (stand.TracePeriod), so it must never
+// attach by accident — and non-campaign kinds reject the flag.
+func TestTraceOptIn(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	st := ts.submit(t, `{}`)
+	ts.wait(t, st.ID)
+	resp, err := http.Get(ts.url + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("trace on untraced job: %d, want 404", resp.StatusCode)
+	}
+
+	if _, code := ts.submitRaw(t, `{"kind":"vet","trace":true}`); code != http.StatusBadRequest {
+		t.Errorf("trace on vet job accepted: %d, want 400", code)
+	}
+}

@@ -1,0 +1,240 @@
+package comptest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/script"
+	"repro/internal/stand"
+)
+
+// Tracer turns a campaign's behavioural events into a structured span
+// tree (campaign → unit → step) on [report.TraceSink]. It plugs into
+// the existing plumbing at two points:
+//
+//   - [Tracer.Observer] builds the per-unit stand.Observer that records
+//     simulated-clock step boundaries while the unit executes;
+//   - the Tracer itself is a [Sink]: Emit tells it a unit's result is
+//     final, at which point the unit's spans are released in strict Seq
+//     order.
+//
+// All span times are simulated-clock offsets placed on an
+// as-if-sequential timeline: unit i starts where unit i-1 ended, no
+// matter how many units really ran concurrently. Combined with the
+// seq-ordered release, the same workbook always produces a
+// byte-identical trace, across reruns and across -parallel settings.
+// Call [Tracer.Flush] after Campaign returns to release buffered spans
+// and the closing campaign span.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  report.TraceSink
+	units map[int]*unitTrace
+	done  map[int]Result
+	next  int   // next seq to release
+	base  int64 // accumulated as-if-sequential timeline offset, ns
+	fail  bool  // any released unit failed or errored
+	count int   // units released
+}
+
+// NewTracer returns a Tracer emitting to sink.
+func NewTracer(sink report.TraceSink) *Tracer {
+	return &Tracer{
+		sink:  sink,
+		units: make(map[int]*unitTrace),
+		done:  make(map[int]Result),
+	}
+}
+
+// Observer returns the behavioural-trace recorder for unit seq. Each
+// unit needs its own recorder (units run concurrently); compose it with
+// other observers via stand.MultiObserver. Seq numbers must match the
+// Result.Seq values the Tracer later sees via Emit.
+func (t *Tracer) Observer(seq int) stand.Observer {
+	ut := &unitTrace{}
+	t.mu.Lock()
+	t.units[seq] = ut
+	t.mu.Unlock()
+	return ut
+}
+
+// Attach instruments every unit of a campaign in place, composing with
+// any observer the unit already carries.
+func (t *Tracer) Attach(units []Unit) {
+	for i := range units {
+		units[i].Observer = stand.MultiObserver(units[i].Observer, t.Observer(i))
+	}
+}
+
+// Emit implements Sink. The Runner serialises calls and emits a unit's
+// result on the goroutine that ran it, so the unit's observer callbacks
+// are complete by the time its result arrives here.
+func (t *Tracer) Emit(res Result) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done[res.Seq] = res
+	for {
+		r, ok := t.done[t.next]
+		if !ok {
+			return
+		}
+		delete(t.done, t.next)
+		t.release(r)
+		t.next++
+	}
+}
+
+// Flush releases any still-buffered units (gaps left by cancelled,
+// never-dispatched units are skipped) and closes the trace with the
+// campaign span. Call it once, after Campaign has returned.
+func (t *Tracer) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Remaining buffered results, in seq order past any gaps.
+	for len(t.done) > 0 {
+		if r, ok := t.done[t.next]; ok {
+			delete(t.done, t.next)
+			t.release(r)
+		}
+		t.next++
+	}
+	verdict := "pass"
+	if t.fail || t.count == 0 {
+		verdict = "fail"
+	}
+	t.sink.Span(report.Span{
+		ID:      "c",
+		Kind:    report.SpanCampaign,
+		StartNS: 0,
+		DurNS:   t.base,
+		Verdict: verdict,
+	})
+}
+
+// release emits one unit's span subtree at the current timeline base.
+// Caller holds t.mu.
+func (t *Tracer) release(res Result) {
+	ut := t.units[res.Seq]
+	if ut == nil {
+		ut = &unitTrace{}
+	}
+	delete(t.units, res.Seq)
+
+	uid := fmt.Sprintf("c/u%d", res.Seq)
+	unit := report.Span{
+		ID:      uid,
+		Parent:  "c",
+		Kind:    report.SpanUnit,
+		StartNS: t.base,
+		DurNS:   int64(ut.total),
+		Verdict: "fail",
+	}
+	if res.Unit.Script != nil {
+		unit.Name, unit.Script = res.Unit.Script.Name, res.Unit.Script.Name
+	}
+	unit.Stand, unit.DUT = res.Unit.Stand, res.Unit.DUT
+	rep := res.Report
+	if rep == nil {
+		rep = ut.report
+	}
+	if rep != nil {
+		// The report carries the resolved names ("" unit fields fall
+		// back to Runner defaults the observer never sees).
+		unit.Script, unit.Stand, unit.DUT = rep.Script, rep.Stand, rep.DUT
+		if unit.Name == "" {
+			unit.Name = rep.Script
+		}
+		if res.Err == nil && rep.Passed() {
+			unit.Verdict = "pass"
+		}
+	}
+	if unit.Verdict != "pass" {
+		t.fail = true
+	}
+	t.count++
+	t.sink.Span(unit)
+
+	if ut.haveInit {
+		t.sink.Span(report.Span{
+			ID:      uid + "/init",
+			Parent:  uid,
+			Kind:    report.SpanStep,
+			Name:    "init",
+			StartNS: t.base,
+			DurNS:   int64(ut.initEnd),
+		})
+	}
+	// Step verdicts fire before measurements are judged, so they are
+	// back-filled from the completed report here.
+	failed := make(map[int]bool)
+	if rep != nil {
+		for i := range rep.Steps {
+			if rep.Steps[i].Failed() {
+				failed[rep.Steps[i].Nr] = true
+			}
+		}
+	}
+	prev := ut.initEnd
+	for _, sm := range ut.steps {
+		verdict := "pass"
+		if failed[sm.nr] {
+			verdict = "fail"
+		}
+		t.sink.Span(report.Span{
+			ID:      fmt.Sprintf("%s/s%d", uid, sm.nr),
+			Parent:  uid,
+			Kind:    report.SpanStep,
+			Name:    sm.remark,
+			Step:    sm.nr,
+			StartNS: t.base + int64(prev),
+			DurNS:   int64(sm.end - prev),
+			Verdict: verdict,
+		})
+		prev = sm.end
+	}
+	t.base += int64(ut.total)
+}
+
+// unitTrace records one unit's simulated-clock boundaries. It is only
+// touched by the unit's executing goroutine until the unit's Result is
+// emitted, then only under the Tracer's lock — no locking of its own.
+type unitTrace struct {
+	haveInit bool
+	initEnd  time.Duration
+	steps    []stepMark
+	total    time.Duration
+	report   *report.Report
+}
+
+type stepMark struct {
+	nr     int
+	remark string
+	end    time.Duration
+}
+
+// RunStarted implements stand.Observer.
+func (u *unitTrace) RunStarted(sc *script.Script, ubattVolts float64) {}
+
+// OutputsSampled implements stand.Observer. The step == -1 sample marks
+// the end of the init settle window; periodic in-step samples only
+// advance the unit's running total.
+func (u *unitTrace) OutputsSampled(now time.Duration, step int, outputs []stand.OutputState) {
+	if step == -1 {
+		u.haveInit, u.initEnd = true, now
+	}
+	if now > u.total {
+		u.total = now
+	}
+}
+
+// StepFinished implements stand.Observer.
+func (u *unitTrace) StepFinished(step *script.Step, now time.Duration, outputs []stand.OutputState) {
+	u.steps = append(u.steps, stepMark{nr: step.Nr, remark: step.Remark, end: now})
+	if now > u.total {
+		u.total = now
+	}
+}
+
+// RunFinished implements stand.Observer.
+func (u *unitTrace) RunFinished(rep *report.Report) { u.report = rep }

@@ -23,7 +23,13 @@
 // kind in comptest/serve), while internal/goanalysis + internal/golint
 // implement a stdlib-only go/analysis-style framework with the repo's
 // own determinism, context-path and lock-discipline analyzers,
-// multichecked by cmd/comptest-lint in CI. The
+// multichecked by cmd/comptest-lint in CI. Production observability
+// is stdlib-only too: internal/obs is a small metrics registry
+// (Prometheus text + JSON exposition, snapshot relabel/merge for
+// fleet aggregation) behind serve's /metrics, internal/report carries
+// deterministic trace spans (campaign → unit → step) written by
+// `comptest run -trace`, and opt-in pprof rides a -debug-addr
+// listener. The
 // building blocks live under internal/, the command line tools under
 // cmd/comptest, cmd/comptest-lint and cmd/benchjson, runnable
 // examples under examples/, and bench_test.go regenerates every table

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry (or a merge of
+// several). It is the unit of exposition: the same snapshot renders as
+// Prometheus text format or as JSON, and the dist coordinator ships
+// worker snapshots as JSON before relabeling and merging them into its
+// own.
+type Snapshot struct {
+	Families []Family `json:"families"`
+}
+
+// Family is one named metric and its cells.
+type Family struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Type  string `json:"type"`
+	Cells []Cell `json:"cells"`
+}
+
+// Cell is one label combination's sampled value. Counters and gauges
+// use Value; histograms use Buckets (cumulative, finite bounds only —
+// the +Inf bucket is implied by Count), Sum and Count.
+type Cell struct {
+	Labels  []Label  `json:"labels,omitempty"`
+	Value   float64  `json:"value"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+}
+
+// Label is one name/value pair.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket: Count samples were <= LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Value returns the value of the named family's first cell, or 0 if the
+// family is absent. It is the lookup /healthz uses, so health and
+// metrics read the very same snapshot.
+func (s Snapshot) Value(name string) float64 {
+	for _, f := range s.Families {
+		if f.Name == name && len(f.Cells) > 0 {
+			return f.Cells[0].Value
+		}
+	}
+	return 0
+}
+
+// CellValue returns the value of the cell in family name whose labels
+// include every given name=value pair, or 0 if no cell matches.
+func (s Snapshot) CellValue(name string, labels ...Label) float64 {
+	for _, f := range s.Families {
+		if f.Name != name {
+			continue
+		}
+	cells:
+		for _, c := range f.Cells {
+			for _, want := range labels {
+				if !hasLabel(c.Labels, want) {
+					continue cells
+				}
+			}
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func hasLabel(ls []Label, want Label) bool {
+	for _, l := range ls {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+// WithLabel returns a copy of the snapshot with name=value prepended to
+// every cell's labels. The coordinator uses it to distinguish scraped
+// worker series ({worker="w-0001"}) from its own before merging.
+func (s Snapshot) WithLabel(name, value string) Snapshot {
+	out := Snapshot{Families: make([]Family, len(s.Families))}
+	for i, f := range s.Families {
+		nf := f
+		nf.Cells = make([]Cell, len(f.Cells))
+		for j, c := range f.Cells {
+			nc := c
+			nc.Labels = append([]Label{{Name: name, Value: value}}, c.Labels...)
+			nf.Cells[j] = nc
+		}
+		out.Families[i] = nf
+	}
+	return out
+}
+
+// Merge combines snapshots into one: families with the same name are
+// unified (first Help/Type wins, which assumes like-named families
+// agree on type) and their cells concatenated. Rendering sorts families
+// and cells, so the merge order does not affect the output bytes.
+func Merge(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	index := make(map[string]int)
+	for _, s := range snaps {
+		for _, f := range s.Families {
+			if i, ok := index[f.Name]; ok {
+				out.Families[i].Cells = append(out.Families[i].Cells, f.Cells...)
+				continue
+			}
+			nf := f
+			nf.Cells = append([]Cell(nil), f.Cells...)
+			index[f.Name] = len(out.Families)
+			out.Families = append(out.Families, nf)
+		}
+	}
+	return out
+}
+
+// MarshalJSON output parses back with ParseJSON; the types are plain
+// structs, so the default encoding is the wire format.
+
+// ParseJSON decodes a snapshot previously produced by writing the
+// snapshot as JSON (Handler's ?format=json or json.Marshal).
+func ParseJSON(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parse snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// WriteText renders the snapshot in Prometheus text exposition format
+// 0.0.4. Families are sorted by name and cells by label values, so the
+// output is byte-deterministic for a given snapshot.
+func (s Snapshot) WriteText(w io.Writer) error {
+	fams := append([]Family(nil), s.Families...)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		cells := append([]Cell(nil), f.Cells...)
+		sort.Slice(cells, func(i, j int) bool {
+			return labelKey(cells[i].Labels) < labelKey(cells[j].Labels)
+		})
+		for _, c := range cells {
+			if f.Type == TypeHistogram {
+				for _, bk := range c.Buckets {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						f.Name, labelSet(c.Labels, Label{Name: "le", Value: formatFloat(bk.LE)}), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					f.Name, labelSet(c.Labels, Label{Name: "le", Value: "+Inf"}), c.Count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.Name, labelSet(c.Labels), formatFloat(c.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.Name, labelSet(c.Labels), c.Count)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.Name, labelSet(c.Labels), formatFloat(c.Value))
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func labelKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// labelSet renders {a="x",b="y"} with labels sorted by name, or the
+// empty string when there are none.
+func labelSet(ls []Label, extra ...Label) string {
+	all := append(append([]Label(nil), ls...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry: Prometheus text format by default,
+// the JSON snapshot with ?format=json. Mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WriteText(w)
+	})
+}

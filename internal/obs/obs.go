@@ -1,0 +1,393 @@
+// Package obs is a dependency-free metrics registry with Prometheus
+// text-format exposition and a JSON snapshot dump.
+//
+// The package exists because the reproduction's service layer (comptest
+// serve, comptest worker, the dist coordinator) needs queue-depth,
+// cache-hit, throughput and requeue telemetry, and the module policy
+// forbids third-party dependencies. The feature set is deliberately the
+// small subset of the Prometheus client that the repo actually uses:
+//
+//   - Counter, Gauge, Histogram cells with atomic hot paths
+//   - labeled families (CounterVec, GaugeVec, HistogramVec)
+//   - func-backed cells (CounterFunc, GaugeFunc) that read live state
+//     at collect time, so /metrics and /healthz can never disagree
+//   - deterministic Snapshot -> text-format 0.0.4 / JSON rendering
+//   - snapshot relabeling and merging, used by the dist coordinator to
+//     re-export scraped worker metrics under a "worker" label
+//
+// obs is also the module's wall-clock seam: packages under the
+// //lint:deterministic regime (explore, mutation, dist, report) must not
+// reference time.Now directly, so they take a clock func and callers
+// default it to [Wall].
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wall is the process wall clock. It is the single place the service
+// layer reads real time from: //lint:deterministic packages receive it
+// (or a test fake) as an injected `func() time.Time` instead of calling
+// time.Now themselves, which keeps the nodeterminism analyzer clean
+// without per-line suppressions.
+func Wall() time.Time { return time.Now() }
+
+// Metric family types, mirroring the Prometheus text-format TYPE values.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Registry holds named metric families. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use.
+//
+// Registration is idempotent: registering a name that already exists
+// with the same type and label names returns the existing family, so
+// several subsystems can share one registry without coordinating
+// start-up order. A type or label mismatch panics — that is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order; snapshots sort by name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with zero or more labeled cells.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string  // label names, fixed at registration
+	bounds []float64 // histogram bucket upper bounds (finite, ascending)
+	fn     func() float64
+	vecFn  func() []FuncCell
+
+	mu    sync.Mutex
+	cells map[string]*cell // key: label values joined with \xff
+	keys  []string
+}
+
+// cell is one label combination's value. Counters use n; gauges use f;
+// histograms use n (count), f (sum) and buckets (per-bound, non-cumulative).
+type cell struct {
+	labels  []string
+	n       atomic.Int64
+	f       atomicFloat
+	buckets []atomic.Int64
+}
+
+// atomicFloat is a float64 with atomic add/store via CAS on the bit
+// pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		nb := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+const labelSep = "\xff"
+
+func (r *Registry) register(name, help, typ string, labels []string, bounds []float64, fn func() float64, vecFn func() []FuncCell) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different type or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: labels,
+		bounds: bounds,
+		fn:     fn,
+		vecFn:  vecFn,
+		cells:  make(map[string]*cell),
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *family) cell(values []string) *cell {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.cells[key]
+	if !ok {
+		c = &cell{labels: append([]string(nil), values...)}
+		if f.typ == TypeHistogram {
+			c.buckets = make([]atomic.Int64, len(f.bounds))
+		}
+		f.cells[key] = c
+		f.keys = append(f.keys, key)
+	}
+	return c
+}
+
+// Counter is a monotonically increasing integer cell.
+type Counter struct{ c *cell }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.c.n.Add(1) }
+
+// Add adds n; n must be non-negative (not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.c.n.Load() }
+
+// Gauge is a float cell that can go up and down.
+type Gauge struct{ c *cell }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.c.f.Store(v) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { g.c.f.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.c.f.Load() }
+
+// Histogram is a cumulative histogram cell with fixed bucket bounds.
+type Histogram struct {
+	bounds []float64
+	c      *cell
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.c.n.Add(1)
+	h.c.f.Add(v)
+	// Buckets are "count of samples <= bound"; stored per-bound and
+	// accumulated at snapshot time.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.c.buckets[i].Add(1)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.c.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.c.f.Load() }
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, TypeCounter, nil, nil, nil, nil)
+	return &Counter{c: f.cell(nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, TypeGauge, nil, nil, nil, nil)
+	return &Gauge{c: f.cell(nil)}
+}
+
+// Histogram registers (or finds) an unlabeled histogram. bounds are the
+// finite bucket upper limits in ascending order; the +Inf bucket is
+// implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+	}
+	f := r.register(name, help, TypeHistogram, nil, append([]float64(nil), bounds...), nil, nil)
+	return &Histogram{bounds: f.bounds, c: f.cell(nil)}
+}
+
+// CounterVec is a counter family with a fixed set of label names.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, TypeCounter, labels, nil, nil, nil)}
+}
+
+// With returns the cell for the given label values, creating it if new.
+func (v *CounterVec) With(values ...string) *Counter {
+	return &Counter{c: v.f.cell(values)}
+}
+
+// GaugeVec is a gauge family with a fixed set of label names.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, TypeGauge, labels, nil, nil, nil)}
+}
+
+// With returns the cell for the given label values, creating it if new.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{c: v.f.cell(values)}
+}
+
+// HistogramVec is a histogram family with a fixed set of label names.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+	}
+	return &HistogramVec{f: r.register(name, help, TypeHistogram, labels, append([]float64(nil), bounds...), nil, nil)}
+}
+
+// With returns the cell for the given label values, creating it if new.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{bounds: v.f.bounds, c: v.f.cell(values)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// snapshot time. Use it to expose an existing monotonic source (for
+// example the artifact cache's hit count) without double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeCounter, nil, nil, fn, nil)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at snapshot
+// time. fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeGauge, nil, nil, fn, nil)
+}
+
+// FuncCell is one label combination's value as produced by a
+// GaugeFuncVec collector.
+type FuncCell struct {
+	Values []string // one value per label name, in registration order
+	Value  float64
+}
+
+// GaugeFuncVec registers a labeled gauge family whose cells are read
+// from fn at snapshot time — the labeled analogue of GaugeFunc. The
+// serve layer uses it to expose jobs-by-state straight from the live
+// job table, so /metrics and /healthz can never drift apart. fn must be
+// safe to call from any goroutine; cells are sorted deterministically
+// at snapshot time regardless of fn's return order.
+func (r *Registry) GaugeFuncVec(name, help string, labels []string, fn func() []FuncCell) {
+	r.register(name, help, TypeGauge, labels, nil, nil, fn)
+}
+
+// Snapshot captures every family into a deterministic, immutable value:
+// families sorted by name, cells sorted by label values. Func-backed
+// families are evaluated now.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	byName := make(map[string]*family, len(names))
+	for _, n := range names {
+		byName[n] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var snap Snapshot
+	for _, name := range names {
+		f := byName[name]
+		fam := Family{Name: f.name, Help: f.help, Type: f.typ}
+		if f.fn != nil {
+			fam.Cells = []Cell{{Value: f.fn()}}
+			snap.Families = append(snap.Families, fam)
+			continue
+		}
+		if f.vecFn != nil {
+			fcs := f.vecFn()
+			sort.Slice(fcs, func(i, j int) bool {
+				return strings.Join(fcs[i].Values, labelSep) < strings.Join(fcs[j].Values, labelSep)
+			})
+			for _, fc := range fcs {
+				var sc Cell
+				for i, lv := range fc.Values {
+					sc.Labels = append(sc.Labels, Label{Name: f.labels[i], Value: lv})
+				}
+				sc.Value = fc.Value
+				fam.Cells = append(fam.Cells, sc)
+			}
+			snap.Families = append(snap.Families, fam)
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		cells := make([]*cell, len(keys))
+		for i, k := range keys {
+			cells[i] = f.cells[k]
+		}
+		f.mu.Unlock()
+		sort.Sort(&cellSorter{keys: keys, cells: cells})
+		for _, c := range cells {
+			var sc Cell
+			for i, lv := range c.labels {
+				sc.Labels = append(sc.Labels, Label{Name: f.labels[i], Value: lv})
+			}
+			switch f.typ {
+			case TypeCounter:
+				sc.Value = float64(c.n.Load())
+			case TypeGauge:
+				sc.Value = c.f.Load()
+			case TypeHistogram:
+				sc.Count = c.n.Load()
+				sc.Sum = c.f.Load()
+				var cum int64
+				for i, b := range f.bounds {
+					cum += c.buckets[i].Load()
+					sc.Buckets = append(sc.Buckets, Bucket{LE: b, Count: cum})
+				}
+			}
+			fam.Cells = append(fam.Cells, sc)
+		}
+		snap.Families = append(snap.Families, fam)
+	}
+	return snap
+}
+
+type cellSorter struct {
+	keys  []string
+	cells []*cell
+}
+
+func (s *cellSorter) Len() int           { return len(s.keys) }
+func (s *cellSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *cellSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.cells[i], s.cells[j] = s.cells[j], s.cells[i]
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge and one
+// histogram from many goroutines; run with -race this doubles as the
+// registry's data-race proof, and the final values prove no increment
+// was lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_level", "level")
+	h := r.Histogram("test_dur_seconds", "durations", []float64{0.1, 1, 10})
+	cv := r.CounterVec("test_labeled_total", "labeled", "kind")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := []string{"a", "b"}[w%2]
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.5)
+				cv.With(kind).Inc()
+				// Snapshot concurrently with writes to exercise the
+				// collect path under race as well.
+				if i%251 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); got != workers*per*0.5 {
+		t.Errorf("histogram sum = %v, want %v", got, workers*per*0.5)
+	}
+	snap := r.Snapshot()
+	if got := snap.CellValue("test_labeled_total", Label{Name: "kind", Value: "a"}); got != workers*per/2 {
+		t.Errorf("labeled counter a = %v, want %d", got, workers*per/2)
+	}
+}
+
+// TestPrometheusTextGolden pins the exposition bytes: sorted families,
+// sorted cells, sorted label names, histogram bucket/sum/count lines.
+func TestPrometheusTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "registered first, renders last").Add(3)
+	r.Gauge("aa_depth", "queue depth").Set(7)
+	cv := r.CounterVec("jobs_total", "jobs by state", "state")
+	cv.With("done").Add(5)
+	cv.With("failed").Inc()
+	h := r.Histogram("dur_seconds", "durations", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(99)
+	r.GaugeFunc("fn_value", "func-backed", func() float64 { return 1.5 })
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_depth queue depth
+# TYPE aa_depth gauge
+aa_depth 7
+# HELP dur_seconds durations
+# TYPE dur_seconds histogram
+dur_seconds_bucket{le="0.5"} 1
+dur_seconds_bucket{le="2"} 2
+dur_seconds_bucket{le="+Inf"} 3
+dur_seconds_sum 100.25
+dur_seconds_count 3
+# HELP fn_value func-backed
+# TYPE fn_value gauge
+fn_value 1.5
+# HELP jobs_total jobs by state
+# TYPE jobs_total counter
+jobs_total{state="done"} 5
+jobs_total{state="failed"} 1
+# HELP zz_last_total registered first, renders last
+# TYPE zz_last_total counter
+zz_last_total 3
+`
+	if b.String() != want {
+		t.Errorf("text exposition mismatch\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestHistogramBucketBoundaries exercises the le-inclusive contract:
+// a sample exactly on a bound lands in that bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 4.5} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	var cell Cell
+	for _, f := range snap.Families {
+		if f.Name == "b_seconds" {
+			cell = f.Cells[0]
+		}
+	}
+	wantCum := []int64{2, 4, 5} // <=1: {0.5,1}; <=2: +{1.0000001,2}; <=4: +{4}
+	for i, b := range cell.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%v count = %d, want %d", b.LE, b.Count, wantCum[i])
+		}
+	}
+	if cell.Count != 6 {
+		t.Errorf("count = %d, want 6", cell.Count)
+	}
+}
+
+// TestSnapshotJSONRoundTrip proves the JSON dump parses back into an
+// identical snapshot (the wire format dist uses to scrape workers).
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("x_total", "x", "kind").With("k").Add(2)
+	r.Histogram("h_seconds", "h", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	snap.WriteText(&a)
+	back.WriteText(&b)
+	if a.String() != b.String() {
+		t.Errorf("round trip changed rendering:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestWithLabelAndMerge models the coordinator's fleet aggregation:
+// two worker snapshots relabeled and merged with the coordinator's own
+// must render one TYPE block per family with distinct worker series.
+func TestWithLabelAndMerge(t *testing.T) {
+	mk := func(n int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("units_total", "units").Add(n)
+		return r.Snapshot()
+	}
+	own := NewRegistry()
+	own.Counter("requeues_total", "requeues").Inc()
+	merged := Merge(
+		own.Snapshot(),
+		mk(3).WithLabel("worker", "w-0001"),
+		mk(4).WithLabel("worker", "w-0002"),
+	)
+	var b strings.Builder
+	if err := merged.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE units_total counter") != 1 {
+		t.Errorf("want exactly one TYPE block for units_total:\n%s", out)
+	}
+	for _, want := range []string{
+		`units_total{worker="w-0001"} 3`,
+		`units_total{worker="w-0002"} 4`,
+		`requeues_total 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged output missing %q:\n%s", want, out)
+		}
+	}
+	if got := merged.CellValue("units_total", Label{Name: "worker", Value: "w-0002"}); got != 4 {
+		t.Errorf("CellValue = %v, want 4", got)
+	}
+}
+
+// TestGaugeFuncVec: a labeled func-backed family renders one series
+// per returned cell, sorted deterministically regardless of fn order.
+func TestGaugeFuncVec(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFuncVec("jobs", "jobs by state", []string{"state"}, func() []FuncCell {
+		return []FuncCell{
+			{Values: []string{"running"}, Value: 2},
+			{Values: []string{"queued"}, Value: 5},
+		}
+	})
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs jobs by state
+# TYPE jobs gauge
+jobs{state="queued"} 5
+jobs{state="running"} 2
+`
+	if b.String() != want {
+		t.Errorf("got:\n%swant:\n%s", b.String(), want)
+	}
+	if got := r.Snapshot().CellValue("jobs", Label{Name: "state", Value: "queued"}); got != 5 {
+		t.Errorf("CellValue = %v, want 5", got)
+	}
+}
+
+// TestHandlerFormats checks the /metrics handler's two content types.
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Inc()
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Errorf("text body missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	snap, err := ParseJSON(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Value("c_total"); got != 1 {
+		t.Errorf("json snapshot c_total = %v, want 1", got)
+	}
+}
+
+// TestIdempotentRegistration: same name+type returns the same cell;
+// mismatched type panics.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "a")
+	b := r.Counter("same_total", "a")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Errorf("re-registration did not alias: %d", b.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("same_total", "boom")
+}
+
+// TestDebugHandlerServesPprof sanity-checks the opt-in profiler mux.
+func TestDebugHandlerServesPprof(t *testing.T) {
+	rec := httptest.NewRecorder()
+	DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "profile") {
+		t.Errorf("pprof index: code=%d body=%.80s", rec.Code, rec.Body.String())
+	}
+}

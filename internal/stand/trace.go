@@ -115,6 +115,52 @@ func (s *Stand) observeOutputs(sc *script.Script) []OutputState {
 	return out
 }
 
+// MultiObserver fans one stand's behavioural events out to several
+// observers, in argument order. Nil entries are skipped, so callers can
+// compose optional hooks without branching; with zero (or only nil)
+// observers it returns nil, which detaches observation entirely.
+func MultiObserver(obs ...Observer) Observer {
+	var active []Observer
+	for _, o := range obs {
+		if o != nil {
+			active = append(active, o)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return nil
+	case 1:
+		return active[0]
+	}
+	return multiObserver(active)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) RunStarted(sc *script.Script, ubattVolts float64) {
+	for _, o := range m {
+		o.RunStarted(sc, ubattVolts)
+	}
+}
+
+func (m multiObserver) OutputsSampled(now time.Duration, step int, outputs []OutputState) {
+	for _, o := range m {
+		o.OutputsSampled(now, step, outputs)
+	}
+}
+
+func (m multiObserver) StepFinished(step *script.Step, now time.Duration, outputs []OutputState) {
+	for _, o := range m {
+		o.StepFinished(step, now, outputs)
+	}
+}
+
+func (m multiObserver) RunFinished(rep *report.Report) {
+	for _, o := range m {
+		o.RunFinished(rep)
+	}
+}
+
 // startTrace arms the periodic trace sampling of one step and returns
 // its stop function (a no-op when no observer is attached).
 func (s *Stand) startTrace(sc *script.Script, step *script.Step) func() {
