@@ -11,8 +11,9 @@
 //	comptest run     -workbook FILE [-stand NAME] [-dut NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE]
 //	comptest mutate  [-workbook FILE] [-dut NAME] [-all] [-parallel N] [-format text|json]
 //	comptest explore [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N] [-oracle LIST] [-promote FILE] [-format text|json]
-//	comptest serve   [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N] [-workers-remote]
-//	comptest worker  -join URL [-addr HOST:PORT] [-name NAME]
+//	comptest serve   [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N] [-workers-remote] [-log-format text|json] [-slo LIST]
+//	comptest worker  -join URL [-addr HOST:PORT] [-name NAME] [-log-format text|json]
+//	comptest slo     [-url URL] [-objectives LIST] [-format text|json]
 //	comptest version
 //	comptest reuse   -workbook FILE
 //	comptest tables
@@ -33,8 +34,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -102,6 +105,8 @@ func run(args []string, out io.Writer) error {
 		return cmdServe(args[1:], out)
 	case "worker":
 		return cmdWorker(args[1:], out)
+	case "slo":
+		return cmdSLO(args[1:], out)
 	case "version":
 		fmt.Fprintln(out, version.String())
 		return nil
@@ -139,13 +144,18 @@ subcommands:
           [-oracle FAULTS|survivors] [-promote FILE] [-format text|json]
                                                    coverage-guided scenario exploration
   serve  [-addr HOST:PORT] [-workers N] [-queue N] [-parallel N]
-         [-workers-remote] [-shard-units N] [-lease DUR]
+         [-workers-remote] [-shard-units N] [-lease DUR] [-scrape-timeout DUR]
+         [-log-format text|json] [-slo LIST]
          [-metrics-addr HOST:PORT] [-debug-addr HOST:PORT]
                                                    campaign-execution service (HTTP JSON job API);
                                                    -workers-remote shards jobs across joined workers;
-                                                   /metrics and /healthz are always on -addr
-  worker -join URL [-addr HOST:PORT] [-name NAME] [-workers N] [-parallel N] [-debug-addr HOST:PORT]
+                                                   /metrics, /healthz and /slo are always on -addr
+  worker -join URL [-addr HOST:PORT] [-name NAME] [-workers N] [-parallel N]
+         [-log-format text|json] [-debug-addr HOST:PORT]
                                                    execution node for a -workers-remote coordinator
+  slo    [-url URL] [-objectives LIST] [-format text|json]
+                                                   evaluate a node's (or fleet's) latency SLOs;
+                                                   exits nonzero when an objective is violated
   version                                          module + go toolchain version
   reuse  [-workbook FILE]                          cross-stand reuse matrix
   tables                                           regenerate the paper's tables
@@ -884,11 +894,23 @@ func cmdExplore(args []string, out io.Writer) error {
 
 // Test seams for cmdServe: production blocks until SIGINT/SIGTERM;
 // tests override the context to drive shutdown and observe the bound
-// address without signals or sleeps.
+// address without signals or sleeps. logDest is where -log-format
+// events go (stderr in production; a buffer in tests).
 var (
 	serveCtx   context.Context   // nil = signal.NotifyContext
 	serveReady func(addr string) // called once the listener is bound
+	logDest    io.Writer         // nil = os.Stderr
 )
+
+// eventLogger builds the process-wide structured logger for serve and
+// worker from their -log-format flag.
+func eventLogger(format string) (*slog.Logger, error) {
+	w := logDest
+	if w == nil {
+		w = os.Stderr
+	}
+	return obs.NewLogger(w, format)
+}
 
 // cmdServe runs the campaign-execution service: a bounded job queue +
 // worker pool behind an HTTP JSON API (see comptest/serve). With
@@ -908,15 +930,28 @@ func cmdServe(args []string, out io.Writer) error {
 	remote := fs.Bool("workers-remote", false, "coordinate remote workers: shard jobs across nodes joined via 'comptest worker -join'")
 	shardUnits := fs.Int("shard-units", 4, "max campaign units per shard (with -workers-remote)")
 	lease := fs.Duration("lease", 15*time.Second, "worker lease: a node silent this long is not scheduled (with -workers-remote)")
+	scrapeTimeout := fs.Duration("scrape-timeout", 2*time.Second, "per-worker /metrics fetch bound during fleet aggregation (with -workers-remote)")
+	logFormat := fs.String("log-format", "text", "structured event log format on stderr: text|json")
+	sloList := fs.String("slo", "", `SLO objectives for /slo, e.g. "comptest_unit_seconds:p95<=60,comptest_queue_wait_seconds:p95<=30" (default: built-in objectives)`)
 	metricsAddr := fs.String("metrics-addr", "", "also serve /metrics on this address (it is always on -addr; this adds a listener scrapers can reach when -addr is firewalled)")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof on this address (profiler off unless set)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := eventLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+	objectives, err := obs.ParseObjectives(*sloList)
+	if err != nil {
 		return err
 	}
 	serveOpts := serve.Options{
 		Workers:            *workers,
 		QueueDepth:         *queue,
 		DefaultParallelism: *parallel,
+		Logger:             logger,
+		Objectives:         objectives,
 	}
 	var (
 		handler http.Handler
@@ -926,9 +961,11 @@ func cmdServe(args []string, out io.Writer) error {
 	)
 	if *remote {
 		coord := dist.New(dist.Options{
-			Serve:      serveOpts,
-			ShardUnits: *shardUnits,
-			LeaseTTL:   *lease,
+			Serve:         serveOpts,
+			ShardUnits:    *shardUnits,
+			LeaseTTL:      *lease,
+			ScrapeTimeout: *scrapeTimeout,
+			Logger:        logger,
 		})
 		handler, metrics, closeFn = coord.Handler(), coord.MetricsHandler(), coord.Close
 		mode = fmt.Sprintf("coordinator, shard-units %d; join workers with 'comptest worker -join URL'", *shardUnits)
@@ -1019,12 +1056,17 @@ func cmdWorker(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 2, "shards executed concurrently (advertised as capacity)")
 	parallel := fs.Int("parallel", 1, "default per-shard worker-pool bound")
 	queue := fs.Int("queue", 16, "bounded shard queue depth")
+	logFormat := fs.String("log-format", "text", "structured event log format on stderr: text|json")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof on this address (profiler off unless set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *join == "" {
 		return fmt.Errorf("worker: -join URL is required")
+	}
+	logger, err := eventLogger(*logFormat)
+	if err != nil {
+		return err
 	}
 	if *debugAddr != "" {
 		stopDebug, daddr, err := serveAux(*debugAddr, "/debug/pprof/", obs.DebugHandler())
@@ -1038,10 +1080,12 @@ func cmdWorker(args []string, out io.Writer) error {
 		Coordinator: *join,
 		Name:        *name,
 		Addr:        *addr,
+		Logger:      logger,
 		Serve: serve.Options{
 			Workers:            *workers,
 			QueueDepth:         *queue,
 			DefaultParallelism: *parallel,
+			Logger:             logger,
 		},
 	})
 	if err != nil {
@@ -1059,6 +1103,58 @@ func cmdWorker(args []string, out io.Writer) error {
 		defer stop()
 	}
 	return w.Wait(ctx)
+}
+
+// cmdSLO fetches a serve or coordinator node's /slo report and renders
+// the verdict: every objective's interpolated quantile against its
+// bound. Against a coordinator the estimates cover the whole fleet
+// (worker histogram cells fold into one). A violated objective exits
+// nonzero, so CI can gate on latency like it gates on verdicts.
+func cmdSLO(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("slo", flag.ContinueOnError)
+	base := fs.String("url", "http://127.0.0.1:8833", "serve or coordinator base URL")
+	objectives := fs.String("objectives", "", `comma-separated overrides, e.g. "comptest_unit_seconds:p95<=60" (default: the server's configured objectives)`)
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("slo: unknown format %q (want text or json)", *format)
+	}
+	target := strings.TrimSuffix(*base, "/") + "/slo"
+	if *objectives != "" {
+		// Validate locally so a typo reads as a flag error, not a 400.
+		if _, err := obs.ParseObjectives(*objectives); err != nil {
+			return err
+		}
+		target += "?objective=" + url.QueryEscape(*objectives)
+	}
+	resp, err := http.Get(target)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("slo: %s: status %d: %s", target, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var rep obs.SLOReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("slo: malformed report from %s: %w", target, err)
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else if err := rep.WriteText(out); err != nil {
+		return err
+	}
+	if !rep.Pass {
+		return fmt.Errorf("slo: objectives violated")
+	}
+	return nil
 }
 
 func cmdReuse(args []string, out io.Writer) error {

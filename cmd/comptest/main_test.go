@@ -413,18 +413,27 @@ func TestVersion(t *testing.T) {
 func TestDistributedEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	addrs := make(chan string, 2)
-	serveCtx, serveReady = ctx, func(a string) { addrs <- a }
-	defer func() { serveCtx, serveReady = nil, nil }()
+	events := &syncBuffer{}
+	serveCtx, serveReady, logDest = ctx, func(a string) { addrs <- a }, events
+	defer func() { serveCtx, serveReady, logDest = nil, nil, nil }()
 
 	done := make(chan error, 2)
 	go func() {
-		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-workers-remote", "-shard-units", "1"}, io.Discard)
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-workers-remote", "-shard-units", "1",
+			"-log-format", "json"}, io.Discard)
 	}()
 	coord := "http://" + <-addrs
 	go func() {
 		done <- run([]string{"worker", "-join", coord, "-name", "node-a", "-workers", "2"}, io.Discard)
 	}()
 	<-addrs // the worker's own URL; registration already succeeded
+
+	// The coordinator's JSON event log must have recorded the handshake
+	// with the worker correlation attr.
+	if text := events.String(); !strings.Contains(text, `"msg":"worker registered"`) ||
+		!strings.Contains(text, `"worker":"w-0001"`) {
+		t.Errorf("coordinator event log lacks a worker-correlated registration record:\n%s", text)
+	}
 
 	// The registered worker must advertise exactly what `comptest
 	// version` prints — the handshake and the subcommand share
@@ -478,6 +487,15 @@ func TestDistributedEndToEnd(t *testing.T) {
 	if _, err := runCLI(t, "run", "-coordinator", coord, "-fault", "stuck_off"); err == nil ||
 		!strings.Contains(err.Error(), "FAILED") {
 		t.Errorf("faulted remote campaign: %v", err)
+	}
+
+	// `comptest slo` against the coordinator evaluates fleet-folded
+	// histograms: the campaigns above left real samples behind.
+	sloOut, err := runCLI(t, "slo", "-url", coord)
+	if err != nil {
+		t.Errorf("slo against the coordinator: %v\n%s", err, sloOut)
+	} else if !strings.Contains(sloOut, "SLO: pass") {
+		t.Errorf("fleet SLO verdict:\n%s", sloOut)
 	}
 
 	cancel()

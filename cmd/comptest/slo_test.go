@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/comptest/serve"
+	"repro/internal/obs"
+)
+
+// waitFor polls cond until it holds or five seconds pass. The terminal
+// job event is logged just after the result stream closes, so log
+// assertions cannot piggyback on stream EOF alone.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSLOCommand boots `serve -log-format json`, runs one job, and
+// drives the full `comptest slo` surface against it: the default
+// objectives pass, an impossible override fails with a nonzero exit,
+// -format json round-trips the report, and flag validation happens
+// before any network I/O. The JSON event log on stderr (captured via
+// the logDest seam) must carry job-correlated records.
+func TestSLOCommand(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan string, 1)
+	events := &syncBuffer{}
+	serveCtx, serveReady, logDest = ctx, func(a string) { addrs <- a }, events
+	defer func() { serveCtx, serveReady, logDest = nil, nil, nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-workers", "1",
+			"-log-format", "json"}, io.Discard)
+	}()
+	base := "http://" + <-addrs
+
+	// One job so the latency histograms hold samples.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := decodeInto(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(base + "/v1/jobs/" + st.ID + "/stream"); err != nil { // blocks until terminal
+		t.Fatal(err)
+	}
+
+	// The process event log is NDJSON with the job correlation attr.
+	waitFor(t, "job-correlated JSON events", func() bool {
+		text := events.String()
+		return strings.Contains(text, `"msg":"job done"`) &&
+			strings.Contains(text, `"job":"`+st.ID+`"`)
+	})
+
+	// Default objectives on a healthy, fast server: pass.
+	out, err := runCLI(t, "slo", "-url", base)
+	if err != nil {
+		t.Fatalf("slo: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "SLO: pass") {
+		t.Errorf("slo output lacks the verdict line:\n%s", out)
+	}
+
+	// A queue wait of <= 0s is unachievable: the report renders FAIL and
+	// the command exits nonzero so CI can gate on it.
+	out, err = runCLI(t, "slo", "-url", base,
+		"-objectives", serve.MetricQueueWait+":p95<=0")
+	if err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Errorf("impossible objective: err=%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "SLO: FAIL") {
+		t.Errorf("violated report output:\n%s", out)
+	}
+
+	// -format json emits the raw report for machines.
+	out, err = runCLI(t, "slo", "-url", base, "-format", "json")
+	if err != nil {
+		t.Fatalf("slo -format json: %v\n%s", err, out)
+	}
+	var rep obs.SLOReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("slo JSON output: %v\n%s", err, out)
+	}
+	if !rep.Pass || len(rep.Results) == 0 {
+		t.Errorf("JSON report: %+v", rep)
+	}
+
+	// Flag validation is local: a malformed objective or format must
+	// error before touching the (unreachable) URL.
+	if _, err := runCLI(t, "slo", "-url", "http://127.0.0.1:1", "-objectives", "garbage"); err == nil ||
+		strings.Contains(err.Error(), "connection") {
+		t.Errorf("malformed -objectives reached the network: %v", err)
+	}
+	if _, err := runCLI(t, "slo", "-url", "http://127.0.0.1:1", "-format", "xml"); err == nil ||
+		!strings.Contains(err.Error(), "format") {
+		t.Errorf("unknown -format: %v", err)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve shutdown: %v", err)
+	}
+}
+
+// TestServeBadObservabilityFlags: unknown -log-format and malformed
+// -slo lists are startup errors, not silently-defaulted config.
+func TestServeBadObservabilityFlags(t *testing.T) {
+	if _, err := runCLI(t, "serve", "-addr", "127.0.0.1:0", "-log-format", "yaml"); err == nil {
+		t.Error("serve accepted -log-format yaml")
+	}
+	if _, err := runCLI(t, "serve", "-addr", "127.0.0.1:0", "-slo", "not-an-objective"); err == nil {
+		t.Error("serve accepted a malformed -slo list")
+	}
+	if _, err := runCLI(t, "worker", "-join", "http://127.0.0.1:1", "-log-format", "yaml"); err == nil {
+		t.Error("worker accepted -log-format yaml")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/comptest/serve"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/stand"
 )
 
 // Options configures a Coordinator. Zero values select the defaults.
@@ -40,8 +42,18 @@ type Options struct {
 	MaxAttempts int
 	// Client performs coordinator→worker HTTP; nil builds one.
 	Client *http.Client
+	// ScrapeTimeout bounds one worker /metrics fetch during fleet
+	// aggregation (default 2s): a slow worker delays, never wedges, the
+	// coordinator's own exposition. `comptest serve -coordinator
+	// -scrape-timeout` sets it.
+	ScrapeTimeout time.Duration
+	// Logger, when non-nil, receives the coordinator's structured fleet
+	// events (worker registration, lease expiry). Shard-level events go
+	// to the owning job's logger instead, carrying job/shard/worker
+	// correlation attrs.
+	Logger *slog.Logger
 
-	now func() time.Time // test clock for the registry
+	now func() time.Time // test clock for the registry and latency histograms
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +71,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
+	}
+	if o.ScrapeTimeout <= 0 {
+		o.ScrapeTimeout = 2 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if o.now == nil {
+		o.now = obs.Wall
 	}
 	return o
 }
@@ -93,8 +114,13 @@ type Coordinator struct {
 	mShardsCompleted *obs.Counter
 	mShardsLocal     *obs.Counter
 	mScrapeErrors    *obs.Counter
+	mShardRoundtrip  *obs.Histogram
+	mScrapeSeconds   *obs.Histogram
 	mergerMu         sync.Mutex
 	mergers          map[*report.Merger]struct{}
+
+	logger *slog.Logger
+	clock  func() time.Time
 }
 
 // New builds a Coordinator and its embedded job server.
@@ -106,6 +132,8 @@ func New(opts Options) *Coordinator {
 		client:  opts.Client,
 		stop:    make(chan struct{}),
 		mergers: map[*report.Merger]struct{}{},
+		logger:  opts.Logger,
+		clock:   opts.now,
 	}
 	serveOpts := opts.Serve
 	serveOpts.Executor = c.execute
@@ -117,7 +145,10 @@ func New(opts Options) *Coordinator {
 	c.registerMetrics()
 	// Counted under the registry lock at the moment liveness flips, so
 	// one lapse is one increment no matter how many goroutines observe it.
-	c.reg.onExpire = c.mLeaseExpiries.Inc
+	c.reg.onExpire = func(id string) {
+		c.mLeaseExpiries.Inc()
+		c.logger.Warn("worker lease expired", "worker", id)
+	}
 	// Lease expiry is time-based and has no event to broadcast on; a
 	// slow ticker wakes blocked acquires so they can re-evaluate
 	// liveness (and fall back to local execution when the fleet died).
@@ -169,9 +200,10 @@ func (c *Coordinator) Close() {
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", c.srv.Handler())
-	// More specific than the "/" mount, so the fleet-aggregated view
-	// shadows the embedded server's node-local /metrics here.
+	// More specific than the "/" mount, so the fleet-aggregated views
+	// shadow the embedded server's node-local /metrics and /slo here.
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /slo", c.handleSLO)
 	mux.HandleFunc("POST /v1/workers", c.handleRegister)
 	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
 	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", c.handleHeartbeat)
@@ -210,6 +242,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		jsonErr(w, http.StatusConflict, "%v", err)
 		return
 	}
+	c.logger.Info("worker registered", "worker", resp.ID, "name", req.Name, "url", req.URL)
 	jsonOut(w, http.StatusOK, resp)
 }
 
@@ -229,6 +262,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	c.reg.Deregister(r.PathValue("id"))
+	c.logger.Info("worker deregistered", "worker", r.PathValue("id"))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -251,12 +285,6 @@ var errBusy = errors.New("dist: worker queue full")
 
 // execute is the serve.Executor of the coordinator.
 func (c *Coordinator) execute(ctx context.Context, ex serve.Execution) (string, error) {
-	if ex.Spec.Trace {
-		// Unit spans live on one simulated timeline; shards on foreign
-		// workers have no shared clock to place them on, so a distributed
-		// trace would be fiction. Fail loudly instead of writing one.
-		return "", permanentf("dist: trace is not supported for distributed campaigns; run it on a single-node serve instance (or `comptest run -trace`)")
-	}
 	if ex.Spec.Kind == serve.KindCampaign {
 		return c.executeCampaign(ctx, ex)
 	}
@@ -356,6 +384,15 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 	merger := report.NewMerger(ex.Log)
 	defer c.trackMerger(merger)()
 	tl := &tally{}
+	// Traced campaigns reassemble the global span tree the same way the
+	// result log reassembles report lines: each shard's spans arrive as a
+	// complete subtree, are re-based onto the global unit sequence and
+	// released in order, so the merged NDJSON is byte-identical to a
+	// single-node `run -trace` of the same campaign.
+	var tm *report.TraceMerger
+	if ex.Trace != nil {
+		tm = report.NewTraceMerger(report.NewSpanWriter(ex.Trace))
+	}
 
 	// A fatal shard error (permanent dispatch failure, local fallback
 	// failure) aborts the remaining shards through this child context;
@@ -372,7 +409,7 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 		wg.Add(1)
 		go func(sh shardSpec) {
 			defer wg.Done()
-			if err := c.runShard(dctx, ex, sh, merger, tl, prog); err != nil && dctx.Err() == nil {
+			if err := c.runShard(dctx, ex, sh, merger, tl, prog, tm); err != nil && dctx.Err() == nil {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -383,6 +420,11 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 		}(sh)
 	}
 	wg.Wait()
+	if tm != nil {
+		// Unconditional, mirroring the single-node runner: even a failed
+		// campaign closes its trace with whatever units completed.
+		tm.Flush()
+	}
 
 	tl.mu.Lock()
 	st := serve.CampaignStatus{Units: len(names), Passed: tl.passed,
@@ -418,8 +460,9 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 // delivered part of the shard. When no worker is live (or remote
 // attempts are exhausted) the coordinator executes the shard itself.
 func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shardSpec,
-	merger *report.Merger, tl *tally, prog *progress) error {
+	merger *report.Merger, tl *tally, prog *progress, tm *report.TraceMerger) error {
 	n := need{kind: serve.KindCampaign, dut: ex.Spec.DUT, stand: ex.Spec.Stand}
+	lg := execLogger(ex)
 	exclude := map[string]bool{}
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -428,22 +471,29 @@ func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shard
 		if attempt >= c.opts.MaxAttempts {
 			prog.local()
 			c.mShardsLocal.Inc()
-			return c.runShardLocal(ctx, ex, sh, merger, tl)
+			lg.Info("shard local", "shard", sh.base, "units", len(sh.names))
+			return c.runShardLocal(ctx, ex, sh, merger, tl, tm)
 		}
 		ls, err := c.reg.acquire(ctx, n, exclude)
 		if errors.Is(err, ErrNoWorkers) {
 			prog.local()
 			c.mShardsLocal.Inc()
-			return c.runShardLocal(ctx, ex, sh, merger, tl)
+			lg.Info("shard local", "shard", sh.base, "units", len(sh.names))
+			return c.runShardLocal(ctx, ex, sh, merger, tl, tm)
 		}
 		if err != nil {
 			return err
 		}
-		derr := c.dispatchShard(ctx, ls, ex, sh, merger, tl)
+		lg.Info("shard dispatched", "shard", sh.base, "worker", ls.id, "units", len(sh.names))
+		t0 := c.clock()
+		derr := c.dispatchShard(ctx, ls, ex, sh, merger, tl, tm)
 		c.reg.release(ls.id)
 		if derr == nil {
+			secs := c.clock().Sub(t0).Seconds()
+			c.mShardRoundtrip.Observe(secs)
 			prog.completed(ls.id)
 			c.mShardsCompleted.Inc()
+			lg.Info("shard merged", "shard", sh.base, "worker", ls.id, "seconds", secs)
 			return nil
 		}
 		if err := ctx.Err(); err != nil {
@@ -472,7 +522,18 @@ func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shard
 		exclude[ls.id] = true
 		prog.requeued()
 		c.mRequeues.Inc()
+		lg.Warn("shard requeued", "shard", sh.base, "worker", ls.id, "error", derr.Error())
 	}
+}
+
+// execLogger returns the job's structured logger, or a discard logger
+// for callers (tests, embedders driving execute directly) that never
+// wired one — shard events must not force nil checks at every site.
+func execLogger(ex serve.Execution) *slog.Logger {
+	if ex.Logger != nil {
+		return ex.Logger
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // forward classifies one NDJSON line from a shard stream, rewrites
@@ -555,7 +616,7 @@ func readLines(r io.Reader, fn func(line []byte) error) error {
 // shards follow), stream its NDJSON, and merge each line under the
 // shard's global sequence numbers.
 func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Execution,
-	sh shardSpec, merger *report.Merger, tl *tally) error {
+	sh shardSpec, merger *report.Merger, tl *tally, tm *report.TraceMerger) error {
 	sctx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
 	defer cancel()
 
@@ -563,10 +624,12 @@ func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Exec
 	spec.Scripts = sh.names
 	spec.Workbook = string(ex.Art.Source)
 	spec.WorkbookName = ""
-	// Never trace shards: per-worker spans cover fragments of a foreign
-	// timeline and cannot merge into the job's trace, so paying the
-	// observer's solver-sample cost on every worker buys nothing.
-	spec.Trace = false
+	// The trace flag travels with the shard: each worker records its
+	// units' spans on a shard-local simulated timeline, and the
+	// TraceMerger re-bases them onto the job's global sequence once the
+	// shard completes. Untraced jobs keep the flag off so workers skip
+	// the tracing observer's solver-sample cost.
+	spec.Trace = ex.Spec.Trace
 	jobID, err := c.submit(sctx, ls.url, spec)
 	if err != nil {
 		return err
@@ -622,8 +685,44 @@ func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Exec
 		}
 		return fmt.Errorf("dist: worker %s delivered %d/%d units", ls.id, idx, len(sh.names))
 	}
+	// A cleanly-EOF'd full-length stream means the remote job reached a
+	// terminal state, and the worker closes its trace log right after
+	// the result log — so the span NDJSON fetched now is complete. A
+	// short or broken stream never reaches this fetch; the requeued
+	// shard delivers its spans instead, and the TraceMerger's per-unit
+	// dedup absorbs any overlap exactly-once, like result lines.
+	if tm != nil {
+		spans, err := c.fetchTrace(sctx, ls, jobID)
+		if err != nil {
+			return err
+		}
+		if err := tm.Add(sh.base, spans); err != nil {
+			return permanentf("dist: merge trace of shard %d from %s: %v", sh.base, ls.id, err)
+		}
+	}
 	complete = true
 	return nil
+}
+
+// fetchTrace retrieves a completed shard job's span NDJSON.
+func (c *Coordinator) fetchTrace(ctx context.Context, ls lease, jobID string) ([]report.Span, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ls.url+"/v1/jobs/"+jobID+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: fetch trace from %s: %w", ls.id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: fetch trace from %s: status %d", ls.id, resp.StatusCode)
+	}
+	spans, err := report.DecodeSpans(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: decode trace from %s: %w", ls.id, err)
+	}
+	return spans, nil
 }
 
 // submit POSTs a job spec and returns the remote job ID. 503 maps to
@@ -734,7 +833,7 @@ func (f *lineForwarder) Write(p []byte) (int, error) {
 // a coordinator with no (surviving) workers behaving exactly like a
 // single-node server.
 func (c *Coordinator) runShardLocal(ctx context.Context, ex serve.Execution, sh shardSpec,
-	merger *report.Merger, tl *tally) error {
+	merger *report.Merger, tl *tally, tm *report.TraceMerger) error {
 	factory, err := comptest.FaultedFactory(ex.Spec.DUT, ex.Spec.Faults...)
 	if err != nil {
 		return err
@@ -744,25 +843,52 @@ func (c *Coordinator) runShardLocal(ctx context.Context, ex serve.Execution, sh 
 		return err
 	}
 	units := comptest.Cross(scripts, []string{ex.Spec.Stand}, "")
+	// The local fallback traces exactly like a remote worker would: a
+	// shard-local Tracer (unit indices 0..n-1, its own timeline) whose
+	// collected spans feed the same TraceMerger re-base as fetched ones.
+	var (
+		tracer *comptest.Tracer
+		col    *report.SpanCollector
+	)
+	if tm != nil {
+		col = &report.SpanCollector{}
+		tracer = comptest.NewTracer(col)
+	}
 	for i := range units {
 		units[i].Factory = factory
 		if ex.Observer != nil {
 			units[i].Observer = ex.Observer(sh.base + i)
 		}
+		if tracer != nil {
+			units[i].Observer = stand.MultiObserver(units[i].Observer, tracer.Observer(i))
+		}
 	}
 	fw := &lineForwarder{base: sh.base, merger: merger, tl: tl}
-	runner, err := comptest.NewRunner(
+	opts := []comptest.Option{
 		comptest.WithStand(ex.Spec.Stand),
 		comptest.WithParallelism(ex.Spec.Parallelism),
 		comptest.WithSink(comptest.Ordered(comptest.NDJSON(fw))),
-	)
+	}
+	if tracer != nil {
+		opts = append(opts, comptest.WithSink(tracer))
+	}
+	runner, err := comptest.NewRunner(opts...)
 	if err != nil {
 		return err
 	}
 	if _, err := runner.Campaign(ctx, units); err != nil {
 		return err
 	}
-	return fw.err
+	if fw.err != nil {
+		return fw.err
+	}
+	if tracer != nil {
+		tracer.Flush()
+		if err := tm.Add(sh.base, col.Spans()); err != nil {
+			return permanentf("dist: merge trace of local shard %d: %v", sh.base, err)
+		}
+	}
+	return nil
 }
 
 // executeWhole dispatches a mutate or explore job in one piece to a

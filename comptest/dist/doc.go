@@ -52,14 +52,28 @@
 // nothing was relayed yet.
 //
 // The coordinator's GET /metrics answers for the whole fleet: it
-// scrapes every live worker's registry, relabels each series with
-// worker="w-NNNN", and merges them with its own dist_* counters
-// (shard requeues, lease expiries, shards completed/local, pending
-// merge lines, scrape errors) — a dead node costs one
-// dist_scrape_errors_total increment, never the exposition. Trace
-// jobs are rejected up front: shard timelines recorded on foreign
-// workers cannot merge into the one byte-stable span log a
-// single-node run guarantees.
+// scrapes every live worker's registry (each scrape bounded by
+// Options.ScrapeTimeout and timed into dist_scrape_seconds), relabels
+// each series with worker="w-NNNN", and merges them with its own
+// dist_* counters (shard requeues, lease expiries, shards
+// completed/local, pending merge lines, scrape errors, shard
+// round-trip latency) — a dead node costs one
+// dist_scrape_errors_total increment, never the exposition. GET /slo
+// evaluates latency objectives against the same fleet snapshot,
+// folding the worker-labelled histogram cells into one deployment-wide
+// quantile per family.
+//
+// Traced campaigns distribute like untraced ones: the trace flag
+// travels with each shard, the coordinator fetches the completed
+// shard's span log from the worker's trace endpoint, and
+// report.TraceMerger re-bases the shard-local unit indices and time
+// offsets onto the global sequence — the merged span log is
+// byte-identical to a single-node run, with requeue duplicates dropped
+// exactly-once like result lines.
+//
+// Lifecycle transitions (worker registration and loss, shard
+// dispatch/merge/requeue) are logged as structured slog events with
+// worker and shard correlation attrs via Options.Logger.
 //
 //lint:deterministic
 package dist

@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"time"
 
+	"repro/comptest/serve"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -25,6 +25,17 @@ const (
 	MetricShardsLocal       = "dist_shards_local_total"
 	MetricMergerPending     = "dist_merger_pending_lines"
 	MetricScrapeErrors      = "dist_scrape_errors_total"
+	MetricShardRoundtrip    = "dist_shard_roundtrip_seconds"
+	MetricScrapeSeconds     = "dist_scrape_seconds"
+)
+
+// Histogram bucket bounds. Shard round-trips span dispatch + remote
+// execution + stream merge, so the range runs to the 2m ShardTimeout;
+// scrapes are one bounded HTTP GET, so theirs tops out at the 2s
+// default ScrapeTimeout.
+var (
+	shardRoundtripBounds = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120}
+	scrapeSecondsBounds  = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2}
 )
 
 // registerMetrics wires the coordinator's telemetry into its registry.
@@ -49,6 +60,10 @@ func (c *Coordinator) registerMetrics() {
 	c.mShardsCompleted = reg.Counter(MetricShardsCompleted, "shards merged to completion")
 	c.mShardsLocal = reg.Counter(MetricShardsLocal, "shards executed by the local fallback")
 	c.mScrapeErrors = reg.Counter(MetricScrapeErrors, "failed worker /metrics scrapes during fleet aggregation")
+	c.mShardRoundtrip = reg.Histogram(MetricShardRoundtrip,
+		"seconds from shard dispatch to its stream fully merged", shardRoundtripBounds)
+	c.mScrapeSeconds = reg.Histogram(MetricScrapeSeconds,
+		"seconds per worker /metrics scrape during fleet aggregation", scrapeSecondsBounds)
 }
 
 // Metrics returns the coordinator's registry (shared with the embedded
@@ -89,10 +104,6 @@ func (c *Coordinator) pendingMergeLines() int {
 	return n
 }
 
-// scrapeTimeout bounds one worker /metrics fetch during aggregation; a
-// slow worker delays, never wedges, the coordinator's own exposition.
-const scrapeTimeout = 2 * time.Second
-
 // fleetSnapshot merges the coordinator's own snapshot with a scrape of
 // every live worker's /metrics?format=json, each re-exported under a
 // worker="w-NNNN" label. Lost workers are skipped (their last state is
@@ -104,7 +115,9 @@ func (c *Coordinator) fleetSnapshot(ctx context.Context) obs.Snapshot {
 		if w.State != "live" {
 			continue
 		}
+		t0 := c.clock()
 		snap, err := c.scrapeWorker(ctx, w.URL)
+		c.mScrapeSeconds.Observe(c.clock().Sub(t0).Seconds())
 		if err != nil {
 			c.mScrapeErrors.Inc()
 			continue
@@ -117,7 +130,7 @@ func (c *Coordinator) fleetSnapshot(ctx context.Context) obs.Snapshot {
 }
 
 func (c *Coordinator) scrapeWorker(ctx context.Context, baseURL string) (obs.Snapshot, error) {
-	sctx, cancel := context.WithTimeout(ctx, scrapeTimeout)
+	sctx, cancel := context.WithTimeout(ctx, c.opts.ScrapeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(sctx, http.MethodGet, baseURL+"/metrics?format=json", nil)
 	if err != nil {
@@ -152,4 +165,13 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = snap.WriteText(w)
+}
+
+// handleSLO evaluates SLO objectives against the FLEET-aggregated
+// snapshot: worker-labelled cells of one histogram family fold into a
+// single quantile estimate, so the verdict covers latency wherever a
+// unit actually ran. It shadows the embedded server's node-local /slo
+// on the coordinator mux, like /metrics.
+func (c *Coordinator) handleSLO(w http.ResponseWriter, r *http.Request) {
+	serve.WriteSLO(w, r, c.fleetSnapshot(r.Context()), c.opts.Serve.Objectives)
 }

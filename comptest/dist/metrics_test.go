@@ -1,8 +1,11 @@
 package dist
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -121,18 +124,97 @@ func TestCoordinatorFleetMetrics(t *testing.T) {
 	}
 }
 
-// TestDistRejectsTraceJobs: shard timelines on foreign workers cannot
-// merge into one trace, so a trace-enabled campaign must fail loudly
-// at the coordinator instead of delivering an empty span log.
-func TestDistRejectsTraceJobs(t *testing.T) {
-	h := newHarness(t, Options{})
-	st := h.submit(t, `{"kind":"campaign","workbook_name":"central_locking","trace":true}`)
-	h.streamRaw(t, st.ID)
-	final := h.status(t, st.ID)
-	if final.State != serve.StateFailed || !strings.Contains(final.Error, "trace") {
-		t.Errorf("trace job on a coordinator: %s (%s), want failed with a trace error",
-			final.State, final.Error)
+// traceURL fetches a terminal job's span NDJSON byte for byte.
+func traceURL(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// singleNodeTraceRaw runs the spec on a plain serve.Server and returns
+// the raw span NDJSON — the trace byte-identity baseline.
+func singleNodeTraceRaw(t *testing.T, spec string) []byte {
+	t.Helper()
+	s := serve.New(serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	streamURL(t, ts.URL, st.ID) // block until terminal
+	return traceURL(t, ts.URL, st.ID)
+}
+
+// tracedSpec runs the 4-script campaign traced and parallel: spans are
+// recorded on the simulated timeline in unit order, so neither
+// parallelism nor sharding may change a byte of the trace.
+const tracedSpec = `{"kind":"campaign","workbook_name":"central_locking","parallelism":4,"trace":true}`
+
+// TestDistributedTraceByteIdentical is the tracing acceptance pin: a
+// traced campaign sharded one unit per shard over two workers must
+// deliver a merged span log byte-identical to the single-node run —
+// including when one worker is kill-9'd and its shards requeue, where
+// the TraceMerger's per-unit dedup keeps re-delivered spans
+// exactly-once like result lines.
+func TestDistributedTraceByteIdentical(t *testing.T) {
+	want := singleNodeTraceRaw(t, tracedSpec)
+	// 4 units × (unit + init + ≥1 step) + the campaign root.
+	if n := bytes.Count(want, []byte("\n")); n < 13 {
+		t.Fatalf("baseline trace has %d spans, want >= 13:\n%s", n, want)
+	}
+
+	run := func(t *testing.T, h *harness) serve.JobStatus {
+		st := h.submit(t, tracedSpec)
+		h.streamRaw(t, st.ID)
+		final := h.status(t, st.ID)
+		if final.State != serve.StateDone || final.Verdict != "green" {
+			t.Fatalf("final = %s/%s (%s)", final.State, final.Verdict, final.Error)
+		}
+		if got := traceURL(t, h.url, st.ID); !bytes.Equal(got, want) {
+			t.Errorf("distributed trace differs from single-node run:\n got: %s\nwant: %s", got, want)
+		}
+		return final
+	}
+
+	t.Run("fleet", func(t *testing.T) {
+		h := newHarness(t, Options{ShardUnits: 1})
+		h.startWorker(t, WorkerOptions{Name: "alpha"})
+		h.startWorker(t, WorkerOptions{Name: "beta"})
+		run(t, h)
+	})
+
+	t.Run("requeue", func(t *testing.T) {
+		h := newHarness(t, Options{ShardUnits: 1})
+		// Registration order makes the corpse the first pick (see
+		// TestRequeueOnDeadWorker), so requeues are guaranteed.
+		dead := h.startWorker(t, WorkerOptions{Name: "casualty"})
+		h.startWorker(t, WorkerOptions{Name: "survivor"})
+		dead.Kill()
+		final := run(t, h)
+		if final.Shards == nil || final.Shards.Requeued < 1 {
+			t.Fatalf("no shard was requeued: %+v", final.Shards)
+		}
+	})
 }
 
 // TestLeaseExpiryCounted drives the registry clock and checks the

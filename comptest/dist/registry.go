@@ -106,8 +106,9 @@ type Registry struct {
 	closed bool
 
 	// onExpire fires (under mu) the first time a worker's lease lapses,
-	// once per lapse: the coordinator counts these for /metrics.
-	onExpire func()
+	// once per lapse: the coordinator counts these for /metrics and logs
+	// which worker went silent.
+	onExpire func(id string)
 }
 
 func newRegistry(ttl time.Duration, now func() time.Time) *Registry {
@@ -224,7 +225,7 @@ func (r *Registry) live(rec *workerRec) bool {
 	if !rec.expired {
 		rec.expired = true
 		if r.onExpire != nil {
-			r.onExpire()
+			r.onExpire(rec.id)
 		}
 	}
 	return false

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -39,6 +40,10 @@ type WorkerOptions struct {
 	Heartbeat time.Duration
 	// Client performs worker→coordinator HTTP; nil builds one.
 	Client *http.Client
+	// Logger, when non-nil, receives the worker's structured lifecycle
+	// events (registration, re-registration after eviction). Job-level
+	// events flow through Serve.Logger instead.
+	Logger *slog.Logger
 
 	// Test seams: an explicit version/protocol lets the handshake
 	// tests exercise rejection paths.
@@ -91,6 +96,9 @@ func StartWorker(opts WorkerOptions) (*Worker, error) {
 	}
 	if opts.Protocol == 0 {
 		opts.Protocol = version.Protocol
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
 	}
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
@@ -172,6 +180,8 @@ func (w *Worker) register() error {
 	w.id = rr.ID
 	w.lease = time.Duration(rr.LeaseMillis) * time.Millisecond
 	w.mu.Unlock()
+	w.opts.Logger.Info("worker registered",
+		"worker", rr.ID, "coordinator", w.opts.Coordinator, "url", w.url)
 	return nil
 }
 

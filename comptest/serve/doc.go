@@ -43,10 +43,16 @@
 //
 // The server is observable in production terms: GET /metrics exposes
 // an internal/obs registry (queue depth, jobs by state, worker-pool
-// utilization, cache hits/misses, unit throughput, NDJSON bytes) in
-// Prometheus text or JSON, /healthz derives from the same registry so
-// the two can never disagree, and a trace-enabled campaign job serves
-// its span log at GET /v1/jobs/{id}/trace.
+// utilization, cache hits/misses, unit throughput, NDJSON bytes,
+// queue-wait and per-unit latency histograms) in Prometheus text or
+// JSON, /healthz derives from the same registry so the two can never
+// disagree, and a trace-enabled campaign job serves its span log at
+// GET /v1/jobs/{id}/trace. Every job lifecycle transition is a
+// structured slog event carrying the job id: teed to Options.Logger
+// (the process log) and to a bounded per-job ring replayed at
+// GET /v1/jobs/{id}/events as NDJSON. GET /slo evaluates the latency
+// histograms against objectives (Options.Objectives or ?objective=)
+// and renders a pass/fail verdict per quantile bound.
 //
 // The serve CLI subcommand (cmd/comptest) wraps this package; tests
 // drive it through net/http/httptest.

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// eventRing buffers the most recent structured event lines of one job.
+// It is the io.Writer behind the job logger's JSON handler (slog
+// handlers issue exactly one Write per record), bounded so a noisy job
+// cannot grow the server: once full, the oldest events are dropped and
+// counted. GET /v1/jobs/{id}/events replays the buffer as NDJSON.
+type eventRing struct {
+	mu      sync.Mutex
+	buf     [][]byte // circular, capacity fixed at construction
+	start   int      // index of the oldest line
+	n       int      // lines currently buffered
+	dropped int      // lines evicted to make room
+}
+
+func newEventRing(capacity int) *eventRing {
+	return &eventRing{buf: make([][]byte, capacity)}
+}
+
+// Write appends one event line, evicting the oldest when full.
+func (r *eventRing) Write(p []byte) (int, error) {
+	line := append([]byte(nil), p...)
+	r.mu.Lock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = line
+		r.n++
+	} else {
+		r.buf[r.start] = line
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+	return len(p), nil
+}
+
+// snapshot returns the buffered lines oldest-first and the eviction
+// count.
+func (r *eventRing) snapshot() ([][]byte, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]byte, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out, r.dropped
+}
+
+// handleEvents replays a job's buffered structured events as NDJSON.
+// Unlike /stream this is a snapshot, not a follow: events are debugging
+// context, and the ring may evict while a slow client reads.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	lines, dropped := job.events.snapshot()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Events-Dropped", strconv.Itoa(dropped))
+	w.WriteHeader(http.StatusOK)
+	for _, line := range lines {
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+	}
+}
+
+// DefaultObjectives are the SLOs /slo evaluates when the server (or the
+// request) does not override them: unit execution and queue wait at
+// p95, whole-job wall time at p99. The bounds are deliberately loose —
+// a deployment tightens them with Options.Objectives or the
+// ?objective= query parameter.
+var DefaultObjectives = []obs.Objective{
+	{Metric: MetricUnitSeconds, Quantile: 0.95, Max: 60},
+	{Metric: MetricQueueWait, Quantile: 0.95, Max: 30},
+	{Metric: MetricJobSeconds, Quantile: 0.99, Max: 600},
+}
+
+// sloObjectives resolves the objectives for one /slo request: query
+// overrides, then server options, then the defaults.
+func sloObjectives(r *http.Request, configured []obs.Objective) ([]obs.Objective, error) {
+	if vals := r.URL.Query()["objective"]; len(vals) > 0 {
+		var objs []obs.Objective
+		for _, v := range vals {
+			parsed, err := obs.ParseObjectives(v)
+			if err != nil {
+				return nil, err
+			}
+			objs = append(objs, parsed...)
+		}
+		return objs, nil
+	}
+	if len(configured) > 0 {
+		return configured, nil
+	}
+	return DefaultObjectives, nil
+}
+
+// WriteSLO evaluates the objectives against the snapshot and renders
+// the report (JSON by default, ?format=text for the human form) — the
+// shared core of the server's and the coordinator's /slo handlers (the
+// coordinator passes its fleet-aggregated snapshot, hence exported).
+func WriteSLO(w http.ResponseWriter, r *http.Request, snap obs.Snapshot, configured []obs.Objective) {
+	objs, err := sloObjectives(r, configured)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep := obs.EvalSLO(snap, objs)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = rep.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleSLO reports this node's service-level objectives from its own
+// histogram buckets. On a coordinator the fleet-aggregated handler
+// shadows this mount (see comptest/dist).
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	WriteSLO(w, r, s.metrics.Snapshot(), s.opts.Objectives)
+}

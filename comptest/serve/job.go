@@ -3,8 +3,10 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/comptest"
 	"repro/comptest/mutation"
@@ -212,6 +214,13 @@ type Job struct {
 	// trace is the span NDJSON log of a "trace": true campaign job;
 	// nil otherwise.
 	trace *resultLog
+	// events buffers the job's structured log records (bounded ring);
+	// logger writes into it (and the process log) with the job attr
+	// attached. Both are set before the job becomes visible and never
+	// change.
+	events    *eventRing
+	logger    *slog.Logger
+	submitted time.Time // acceptance instant, for queue-wait latency
 
 	ctx    context.Context
 	cancel context.CancelFunc

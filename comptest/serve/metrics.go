@@ -19,6 +19,8 @@ const (
 	MetricStreamBytes   = "comptest_stream_bytes_total"
 	MetricJobSeconds    = "comptest_job_duration_seconds"
 	MetricUnitRate      = "comptest_job_units_per_second"
+	MetricQueueWait     = "comptest_queue_wait_seconds"
+	MetricUnitSeconds   = "comptest_unit_seconds"
 )
 
 // jobSecondsBounds buckets job wall-clock durations: the paper's
@@ -30,6 +32,15 @@ var jobSecondsBounds = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
 // unitRateBounds buckets per-job unit throughput (NDJSON result lines
 // per wall-clock second at job completion).
 var unitRateBounds = []float64{1, 5, 25, 100, 500, 2500}
+
+// queueWaitBounds buckets the accepted→started latency. On a healthy
+// server this is microseconds; a saturated queue reaches seconds.
+var queueWaitBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2, 10, 60}
+
+// unitSecondsBounds buckets one unit's wall-clock execution, from DUT
+// construction to its result reaching the sinks. The paper's units
+// simulate in single-digit milliseconds.
+var unitSecondsBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2, 10, 60}
 
 // registerMetrics wires the server's telemetry into reg. Everything
 // that has live state (queue, job table, worker pool, artifact cache)
@@ -55,6 +66,8 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	s.streamBytes = reg.Counter(MetricStreamBytes, "bytes appended to job result logs")
 	s.jobSeconds = reg.Histogram(MetricJobSeconds, "wall-clock duration of finished jobs", jobSecondsBounds)
 	s.unitRate = reg.Histogram(MetricUnitRate, "result lines per second of finished jobs", unitRateBounds)
+	s.queueWait = reg.Histogram(MetricQueueWait, "seconds jobs waited between acceptance and start", queueWaitBounds)
+	s.unitSeconds = reg.Histogram(MetricUnitSeconds, "wall-clock execution seconds of campaign units", unitSecondsBounds)
 }
 
 // jobsByState scans the live job table — the same data the list and

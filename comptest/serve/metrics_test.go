@@ -41,9 +41,10 @@ func getBody(t *testing.T, url string) (int, []byte) {
 
 // TestMetricsEndpoint runs one campaign job and checks the Prometheus
 // text exposition end to end: queue/worker gauges, jobs-by-state,
-// cache counters, unit throughput and the deterministic job-duration
-// histogram driven by the injected clock (the job reads it twice,
-// start and finish, 5 s apart = exactly 5 s of measured wall time).
+// cache counters, unit throughput and the deterministic latency
+// histograms (job duration, queue wait, per-unit execution) driven by
+// the injected clock — every read advances it 5 s, so each measured
+// window is an exact multiple of 5.
 func TestMetricsEndpoint(t *testing.T) {
 	ts := newTestServer(t, Options{Workers: 1, Now: fakeClock(5 * time.Second)})
 	st := ts.submit(t, `{}`)
@@ -82,25 +83,36 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := snap.Value(MetricStreamBytes); got <= 0 {
 		t.Errorf("%s = %v, want > 0", MetricStreamBytes, got)
 	}
-	var durs obs.Cell
-	for _, f := range snap.Families {
-		if f.Name == MetricJobSeconds {
-			durs = f.Cells[0]
+	cell := func(name string) obs.Cell {
+		var c obs.Cell
+		for _, f := range snap.Families {
+			if f.Name == name {
+				c = f.Cells[0]
+			}
 		}
+		return c
 	}
-	if durs.Count != 1 || durs.Sum != 5 {
-		t.Errorf("%s count=%d sum=%v, want 1 job of exactly 5s (fake clock)",
-			MetricJobSeconds, durs.Count, durs.Sum)
+	// Every clock read advances the fake by 5 s, and the reads between
+	// the job's start and finish stamps are exactly the per-unit pair
+	// (factory + result emit) — so the measured wall time is
+	// deterministic: (1 + 2*units) ticks.
+	elapsed := 5 * float64(1+2*reports)
+	if durs := cell(MetricJobSeconds); durs.Count != 1 || durs.Sum != elapsed {
+		t.Errorf("%s count=%d sum=%v, want 1 job of exactly %vs (fake clock)",
+			MetricJobSeconds, durs.Count, durs.Sum, elapsed)
 	}
-	var rate obs.Cell
-	for _, f := range snap.Families {
-		if f.Name == MetricUnitRate {
-			rate = f.Cells[0]
-		}
-	}
-	if rate.Count != 1 || rate.Sum != float64(reports)/5 {
+	if rate := cell(MetricUnitRate); rate.Count != 1 || rate.Sum != float64(reports)/elapsed {
 		t.Errorf("%s count=%d sum=%v, want %v units/s", MetricUnitRate,
-			rate.Count, rate.Sum, float64(reports)/5)
+			rate.Count, rate.Sum, float64(reports)/elapsed)
+	}
+	// Acceptance stamp to start stamp is one tick: 5 s of queue wait.
+	if qw := cell(MetricQueueWait); qw.Count != 1 || qw.Sum != 5 {
+		t.Errorf("%s count=%d sum=%v, want 1 wait of exactly 5s", MetricQueueWait, qw.Count, qw.Sum)
+	}
+	// Each unit's factory→emit window is one tick: 5 s per unit.
+	if us := cell(MetricUnitSeconds); us.Count != int64(reports) || us.Sum != 5*float64(reports) {
+		t.Errorf("%s count=%d sum=%v, want %d units of exactly 5s each",
+			MetricUnitSeconds, us.Count, us.Sum, reports)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"repro/comptest"
 	"repro/comptest/explore"
 	"repro/comptest/mutation"
+	"repro/internal/ecu"
 	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -59,6 +61,18 @@ type Options struct {
 	// obs.Wall. Injectable so tests pin durations and the deterministic
 	// layers never read time.Now themselves.
 	Now func() time.Time
+	// Logger, when non-nil, receives the server's structured events
+	// (job lifecycle, unit failures) in addition to the per-job event
+	// ring every job always has. The serve CLI wires this to stderr via
+	// -log-format; embedding processes pass their own.
+	Logger *slog.Logger
+	// EventBuffer bounds each job's structured-event ring (default 256
+	// lines). Older events are dropped, and the drop count surfaces on
+	// GET /v1/jobs/{id}/events.
+	EventBuffer int
+	// Objectives are the SLOs GET /slo evaluates by default; nil means
+	// DefaultObjectives. A request overrides both with ?objective=.
+	Objectives []obs.Objective
 }
 
 // Executor runs one job to completion, streaming NDJSON result lines
@@ -93,6 +107,13 @@ type Execution struct {
 	// for jobs submitted with "trace": true; GET /v1/jobs/{id}/trace
 	// follows it.
 	Trace io.Writer
+
+	// Logger carries the job's correlation attrs (at least "job");
+	// events logged through it land in the job's event ring and, when
+	// configured, the process log. The distributed coordinator adds
+	// shard/worker attrs per dispatch. Never nil for jobs the server
+	// runs; custom callers of ExecuteLocal may leave it nil.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +138,9 @@ func (o Options) withDefaults() Options {
 	if o.Now == nil {
 		o.Now = obs.Wall
 	}
+	if o.EventBuffer < 1 {
+		o.EventBuffer = 256
+	}
 	return o
 }
 
@@ -139,6 +163,8 @@ type Server struct {
 	streamBytes *obs.Counter
 	jobSeconds  *obs.Histogram
 	unitRate    *obs.Histogram
+	queueWait   *obs.Histogram
+	unitSeconds *obs.Histogram
 
 	mu     sync.Mutex
 	jobs   map[string]*Job // guarded by mu
@@ -203,9 +229,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.metrics.Handler())
+	mux.HandleFunc("GET /slo", s.handleSLO)
 	return mux
 }
 
@@ -296,6 +324,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		spec:   spec,
 		art:    art,
 		log:    newResultLog(),
+		events: newEventRing(s.opts.EventBuffer),
 		ctx:    jobCtx,
 		cancel: jobCancel,
 		state:  StateQueued,
@@ -314,6 +343,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	job.id = fmt.Sprintf("job-%06d", s.seq)
+	job.submitted = s.now()
+	// The logger must exist before the job is visible to a worker: it
+	// tees each event into the job's ring and the process log, tagged
+	// with the job's correlation attr.
+	var procHandler slog.Handler
+	if s.opts.Logger != nil {
+		procHandler = s.opts.Logger.Handler()
+	}
+	job.logger = slog.New(obs.Fanout(
+		slog.NewJSONHandler(job.events, nil), procHandler)).With("job", job.id)
 	select {
 	case s.queue <- job:
 	default:
@@ -328,6 +367,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, job.id)
 	s.mu.Unlock()
 
+	job.logger.Info("job accepted", "kind", spec.Kind, "workbook", art.Key,
+		"stand", spec.Stand, "dut", spec.DUT, "trace", spec.Trace)
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
@@ -406,6 +447,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if queued {
 		job.finish(StateCancelled, "", "cancelled while queued")
 	}
+	job.logger.Info("cancel requested", "queued", queued)
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
@@ -532,6 +574,9 @@ func (s *Server) runJob(job *Job) {
 	job.setState(StateRunning)
 	s.busy.Add(1)
 	started := s.now()
+	wait := started.Sub(job.submitted).Seconds()
+	s.queueWait.Observe(wait)
+	job.logger.Info("job started", "wait_s", wait)
 	defer func() {
 		// Completed-job telemetry: wall duration and unit throughput
 		// (result lines per second; sub-resolution durations clamp so
@@ -585,6 +630,7 @@ func (s *Server) runJob(job *Job) {
 	if job.trace != nil {
 		ex.Trace = job.trace
 	}
+	ex.Logger = job.logger
 
 	exec := s.opts.Executor
 	if exec == nil {
@@ -594,10 +640,13 @@ func (s *Server) runJob(job *Job) {
 	switch {
 	case job.ctx.Err() != nil:
 		job.finish(StateCancelled, "", "cancelled")
+		job.logger.Info("job cancelled")
 	case err != nil:
 		job.finish(StateFailed, "", trimPrefix(err))
+		job.logger.Warn("job failed", "error", trimPrefix(err))
 	default:
 		job.finish(StateDone, verdict, "")
+		job.logger.Info("job done", "verdict", verdict, "reports", job.log.len())
 	}
 }
 
@@ -637,8 +686,18 @@ func (s *Server) runCampaign(ctx context.Context, ex Execution) (string, error) 
 	if ex.Trace != nil {
 		tracer = comptest.NewTracer(report.NewSpanWriter(ex.Trace))
 	}
+	// Per-unit wall latency is measured from DUT construction (the
+	// factory call, the first thing a unit's goroutine does) to the
+	// result reaching the sinks — without attaching a stand observer,
+	// whose solver-sampling cost the Trace flag documents. starts[i] is
+	// written and read on unit i's own goroutine.
+	starts := make([]time.Time, len(units))
 	for i := range units {
-		units[i].Factory = factory
+		i := i
+		units[i].Factory = func() ecu.ECU {
+			starts[i] = s.now()
+			return factory()
+		}
 		if ex.Observer != nil {
 			units[i].Observer = ex.Observer(i)
 		}
@@ -646,11 +705,26 @@ func (s *Server) runCampaign(ctx context.Context, ex Execution) (string, error) 
 			units[i].Observer = stand.MultiObserver(units[i].Observer, tracer.Observer(i))
 		}
 	}
+	watch := comptest.SinkFunc(func(res comptest.Result) {
+		if res.Seq >= 0 && res.Seq < len(starts) && !starts[res.Seq].IsZero() {
+			s.unitSeconds.Observe(s.now().Sub(starts[res.Seq]).Seconds())
+		}
+		if ex.Logger == nil {
+			return
+		}
+		switch {
+		case res.Err != nil:
+			ex.Logger.Warn("unit errored", "unit", res.Seq, "error", res.Err.Error())
+		case res.Report != nil && !res.Report.Passed():
+			ex.Logger.Warn("unit failed", "unit", res.Seq, "script", res.Report.Script)
+		}
+	})
 	sink := comptest.NDJSON(ex.Log)
 	opts := []comptest.Option{
 		comptest.WithStand(ex.Spec.Stand),
 		comptest.WithParallelism(ex.Spec.Parallelism),
 		comptest.WithSink(comptest.Ordered(sink)),
+		comptest.WithSink(watch),
 	}
 	if tracer != nil {
 		opts = append(opts, comptest.WithSink(tracer))

@@ -26,10 +26,13 @@
 // multichecked by cmd/comptest-lint in CI. Production observability
 // is stdlib-only too: internal/obs is a small metrics registry
 // (Prometheus text + JSON exposition, snapshot relabel/merge for
-// fleet aggregation) behind serve's /metrics, internal/report carries
-// deterministic trace spans (campaign → unit → step) written by
-// `comptest run -trace`, and opt-in pprof rides a -debug-addr
-// listener. The
+// fleet aggregation, quantile estimation and SLO evaluation behind
+// /slo and `comptest slo`) behind serve's /metrics, internal/report
+// carries deterministic trace spans (campaign → unit → step) written
+// by `comptest run -trace` and re-based across shards by
+// report.TraceMerger so distributed traces stay byte-identical,
+// structured slog event logs correlate job/shard/worker across the
+// fleet, and opt-in pprof rides a -debug-addr listener. The
 // building blocks live under internal/, the command line tools under
 // cmd/comptest, cmd/comptest-lint and cmd/benchjson, runnable
 // examples under examples/, and bench_test.go regenerates every table

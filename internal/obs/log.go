@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Log formats accepted by NewLogHandler and the CLI's -log-format flag.
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogHandler builds a slog handler writing one record per line to w.
+// format is "text" (the default when empty) or "json"; json is the
+// machine-readable form the per-job event ring and log shippers consume.
+func NewLogHandler(w io.Writer, format string) (slog.Handler, error) {
+	switch format {
+	case "", LogText:
+		return slog.NewTextHandler(w, nil), nil
+	case LogJSON:
+		return slog.NewJSONHandler(w, nil), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// NewLogger builds a slog.Logger on a NewLogHandler handler.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	h, err := NewLogHandler(w, format)
+	if err != nil {
+		return nil, err
+	}
+	return slog.New(h), nil
+}
+
+// Fanout composes handlers: every record goes to each of them. Nil
+// handlers are skipped, so callers can pass an optional process handler
+// alongside an always-present one (the serve layer tees each job's
+// events into its ring buffer and, when configured, the process log).
+func Fanout(handlers ...slog.Handler) slog.Handler {
+	hs := make([]slog.Handler, 0, len(handlers))
+	for _, h := range handlers {
+		if h != nil {
+			hs = append(hs, h)
+		}
+	}
+	return fanout{hs: hs}
+}
+
+type fanout struct{ hs []slog.Handler }
+
+// Enabled reports whether any fanned-out handler wants the level.
+func (f fanout) Enabled(ctx context.Context, lvl slog.Level) bool {
+	for _, h := range f.hs {
+		if h.Enabled(ctx, lvl) {
+			return true
+		}
+	}
+	return false
+}
+
+// Handle forwards the record to every enabled handler; the first error
+// is returned after all handlers ran.
+func (f fanout) Handle(ctx context.Context, r slog.Record) error {
+	var first error
+	for _, h := range f.hs {
+		if !h.Enabled(ctx, r.Level) {
+			continue
+		}
+		if err := h.Handle(ctx, r.Clone()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WithAttrs implements slog.Handler.
+func (f fanout) WithAttrs(attrs []slog.Attr) slog.Handler {
+	hs := make([]slog.Handler, len(f.hs))
+	for i, h := range f.hs {
+		hs[i] = h.WithAttrs(attrs)
+	}
+	return fanout{hs: hs}
+}
+
+// WithGroup implements slog.Handler.
+func (f fanout) WithGroup(name string) slog.Handler {
+	hs := make([]slog.Handler, len(f.hs))
+	for i, h := range f.hs {
+		hs[i] = h.WithGroup(name)
+	}
+	return fanout{hs: hs}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestNewLogHandlerFormats: "" defaults to text, "json" emits one JSON
+// object per line with the standard slog keys, and an unknown format is
+// a flag error, not a silent fallback.
+func TestNewLogHandlerFormats(t *testing.T) {
+	var text strings.Builder
+	lg, err := NewLogger(&text, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("job accepted", "job", "j-0001")
+	if s := text.String(); !strings.Contains(s, "msg=\"job accepted\"") || !strings.Contains(s, "job=j-0001") {
+		t.Errorf("text record: %q", s)
+	}
+
+	var jsonBuf strings.Builder
+	lg, err = NewLogger(&jsonBuf, LogJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Warn("shard requeued", "shard", 4, "worker", "w-0002")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &rec); err != nil {
+		t.Fatalf("json record %q: %v", jsonBuf.String(), err)
+	}
+	if rec["msg"] != "shard requeued" || rec["level"] != "WARN" ||
+		rec["shard"] != float64(4) || rec["worker"] != "w-0002" {
+		t.Errorf("json record fields: %v", rec)
+	}
+
+	if _, err := NewLogger(&text, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestFanout: each record reaches every non-nil handler, correlation
+// attrs added via With survive the tee, and nil handlers (the optional
+// process log) are skipped rather than dereferenced.
+func TestFanout(t *testing.T) {
+	var ring, proc strings.Builder
+	ringH := slog.NewJSONHandler(&ring, nil)
+	procH := slog.NewTextHandler(&proc, nil)
+	lg := slog.New(Fanout(ringH, nil, procH)).With("job", "j-0001")
+	lg.Info("job started", "wait_s", 5.0)
+
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(ring.String()), &rec); err != nil {
+		t.Fatalf("ring record %q: %v", ring.String(), err)
+	}
+	if rec["job"] != "j-0001" || rec["msg"] != "job started" {
+		t.Errorf("ring record lost attrs: %v", rec)
+	}
+	if s := proc.String(); !strings.Contains(s, "job=j-0001") || !strings.Contains(s, "wait_s=5") {
+		t.Errorf("process record: %q", s)
+	}
+
+	// All-nil fanout behaves as a discard handler.
+	quiet := slog.New(Fanout(nil, nil))
+	quiet.Info("dropped") // must not panic
+}

@@ -14,6 +14,11 @@
 //   - deterministic Snapshot -> text-format 0.0.4 / JSON rendering
 //   - snapshot relabeling and merging, used by the dist coordinator to
 //     re-export scraped worker metrics under a "worker" label
+//   - quantile estimation over histogram buckets plus SLO objective
+//     parsing/evaluation ([Quantile], [ParseObjectives], [EvalSLO]),
+//     behind the /slo endpoints and `comptest slo`
+//   - structured-logging helpers ([NewLogger], [Fanout]) shared by the
+//     serve/dist/CLI slog event layer
 //
 // obs is also the module's wall-clock seam: packages under the
 // //lint:deterministic regime (explore, mutation, dist, report) must not
