@@ -23,6 +23,7 @@ import (
 	"repro/internal/analog"
 	"repro/internal/ecu"
 	"repro/internal/expr"
+	"repro/internal/lint"
 	"repro/internal/method"
 	"repro/internal/paper"
 	"repro/internal/report"
@@ -512,17 +513,33 @@ func BenchmarkCampaignMatrix(b *testing.B) {
 // script mutants, each against its suite — at increasing worker-pool
 // bounds. parallel_1 is the sequential baseline; the kill scores must
 // not depend on the bound.
+//
+// The setup primes per-plan kill statistics from one untimed run —
+// exactly what `comptest mutate` does with its .kills.json sidecar —
+// so the timed runs execute the production configuration: each
+// mutant's scripts ordered most-lethal-first, early kill deciding most
+// mutants on their first run.
 func BenchmarkMutationMatrix(b *testing.B) {
 	plans, err := mutation.EnumerateBuiltin()
 	if err != nil {
 		b.Fatal(err)
+	}
+	kills := make(map[*mutation.Plan]*lint.KillMatrix, len(plans))
+	for _, p := range plans {
+		m, err := mutation.Run(context.Background(), p, mutation.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := report.Strength{DUTs: []report.DUTStrength{m.Strength(nil)}}
+		kills[p] = lint.KillMatrixFromStrength(&s)
 	}
 	want := map[string]report.Score{}
 	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("parallel_%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, p := range plans {
-					m, err := mutation.Run(context.Background(), p, mutation.Options{Parallelism: par})
+					m, err := mutation.Run(context.Background(), p,
+						mutation.Options{Parallelism: par, KillStats: kills[p]})
 					if err != nil {
 						b.Fatal(err)
 					}

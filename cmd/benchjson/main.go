@@ -11,10 +11,15 @@
 //	go test -run=- -bench=. -benchtime=3x -count=3 -benchmem | benchjson -o BENCH_PR4.json
 //	benchjson -o BENCH_PR4.json bench.txt
 //	benchjson -compare OLD.json NEW.json
+//	benchjson -compare OLD.json -assert "BenchmarkMutationMatrix>=5" NEW.json
 //
-// The compare mode is report-only by design: it prints per-benchmark
-// deltas and always exits 0 on valid input, so a perf regression shows
-// up in the log without blocking the merge.
+// The compare mode is report-only by default: it prints per-benchmark
+// deltas and exits 0 on valid input, so a perf regression shows up in
+// the log without blocking the merge. -assert turns named speedups into
+// a hard gate: every benchmark whose normalized name starts with NAME
+// must be at least FACTOR× faster (old ns/op ÷ new ns/op) than the old
+// document, and a spec matching no benchmark is itself an error — a
+// renamed benchmark must not silently disarm the gate.
 package main
 
 import (
@@ -55,6 +60,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fs.SetOutput(out)
 	outFile := fs.String("o", "", "write the JSON document here instead of stdout")
 	compare := fs.String("compare", "", "compare OLD.json against the NEW.json positional argument")
+	assert := fs.String("assert", "",
+		"with -compare: comma-separated NAME>=FACTOR speedup gates, e.g. \"BenchmarkMutationMatrix>=5\"")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,7 +69,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if fs.NArg() != 1 {
 			return fmt.Errorf("-compare OLD.json needs exactly one NEW.json argument")
 		}
-		return runCompare(*compare, fs.Arg(0), out)
+		return runCompare(*compare, fs.Arg(0), *assert, out)
+	}
+	if *assert != "" {
+		return fmt.Errorf("-assert needs -compare")
 	}
 	var err error
 	switch fs.NArg() {
@@ -188,9 +198,48 @@ func loadDoc(path string) (*Doc, error) {
 	return &doc, nil
 }
 
-// runCompare prints an aligned per-benchmark delta table. Report-only:
-// regressions are printed, never turned into a non-zero exit.
-func runCompare(oldPath, newPath string, out io.Writer) error {
+// speedupGate is one parsed -assert spec: every benchmark whose
+// normalized name starts with prefix must be at least factor× faster.
+type speedupGate struct {
+	prefix string
+	factor float64
+}
+
+// parseAsserts parses the comma-separated NAME>=FACTOR list.
+func parseAsserts(spec string) ([]speedupGate, error) {
+	var gates []speedupGate
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, factorText, ok := strings.Cut(part, ">=")
+		if !ok {
+			return nil, fmt.Errorf("assert %q: want NAME>=FACTOR", part)
+		}
+		factor, err := strconv.ParseFloat(strings.TrimSpace(factorText), 64)
+		if err != nil || factor <= 0 {
+			return nil, fmt.Errorf("assert %q: bad factor", part)
+		}
+		gates = append(gates, speedupGate{prefix: strings.TrimSpace(name), factor: factor})
+	}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("assert %q: no gates", spec)
+	}
+	return gates, nil
+}
+
+// runCompare prints an aligned per-benchmark delta table. Report-only
+// unless asserts is non-empty; then every gate must hold or the exit
+// is non-zero.
+func runCompare(oldPath, newPath, asserts string, out io.Writer) error {
+	var gates []speedupGate
+	if asserts != "" {
+		var err error
+		if gates, err = parseAsserts(asserts); err != nil {
+			return err
+		}
+	}
 	oldDoc, err := loadDoc(oldPath)
 	if err != nil {
 		return err
@@ -221,6 +270,35 @@ func runCompare(oldPath, newPath string, out io.Writer) error {
 		if _, ok := newDoc.Benchmarks[name]; !ok {
 			fmt.Fprintf(out, "%-56s vanished (present only in %s)\n", name, oldPath)
 		}
+	}
+
+	var failed []string
+	for _, g := range gates {
+		matched := 0
+		for _, name := range names {
+			if !strings.HasPrefix(name, g.prefix) {
+				continue
+			}
+			om, ok := oldDoc.Benchmarks[name]
+			if !ok || om.NsPerOp == 0 {
+				continue
+			}
+			matched++
+			speedup := om.NsPerOp / newDoc.Benchmarks[name].NsPerOp
+			status := "ok"
+			if speedup < g.factor {
+				status = "FAIL"
+				failed = append(failed,
+					fmt.Sprintf("%s: %.2fx < %gx", name, speedup, g.factor))
+			}
+			fmt.Fprintf(out, "assert %-49s %6.2fx >= %gx  %s\n", name, speedup, g.factor, status)
+		}
+		if matched == 0 {
+			failed = append(failed, fmt.Sprintf("%s: no benchmark matches", g.prefix))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("speedup gate violated: %s", strings.Join(failed, "; "))
 	}
 	return nil
 }

@@ -122,6 +122,72 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestAssertGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	old := write("old.json", `{"benchmarks":{
+		"BenchmarkMutationMatrix/parallel_1":{"ns_per_op":1000,"runs":3},
+		"BenchmarkMutationMatrix/parallel_4":{"ns_per_op":800,"runs":3},
+		"BenchmarkCampaignMatrix/parallel_1":{"ns_per_op":500,"runs":3}}}`)
+	new_ := write("new.json", `{"benchmarks":{
+		"BenchmarkMutationMatrix/parallel_1":{"ns_per_op":100,"runs":3},
+		"BenchmarkMutationMatrix/parallel_4":{"ns_per_op":100,"runs":3},
+		"BenchmarkCampaignMatrix/parallel_1":{"ns_per_op":450,"runs":3}}}`)
+
+	var out strings.Builder
+	// Both mutation variants are 8-10x faster: the >=5 gate holds.
+	if err := run([]string{"-compare", old, "-assert", "BenchmarkMutationMatrix>=5", new_}, nil, &out); err != nil {
+		t.Fatalf("passing gate errored: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "10.00x >= 5x  ok") {
+		t.Errorf("gate output lacks per-benchmark line:\n%s", out.String())
+	}
+
+	// The campaign benchmark is only 1.1x faster: a >=5 gate must fail.
+	out.Reset()
+	err := run([]string{"-compare", old, "-assert", "BenchmarkCampaignMatrix>=5", new_}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "speedup gate violated") {
+		t.Errorf("failing gate did not error: %v", err)
+	}
+
+	// A prefix matching nothing must not silently disarm the gate.
+	out.Reset()
+	err = run([]string{"-compare", old, "-assert", "BenchmarkRenamed>=5", new_}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark matches") {
+		t.Errorf("unmatched gate did not error: %v", err)
+	}
+
+	// Multiple comma-separated gates evaluate independently.
+	out.Reset()
+	if err := run([]string{"-compare", old,
+		"-assert", "BenchmarkMutationMatrix>=5, BenchmarkCampaignMatrix>=1", new_}, nil, &out); err != nil {
+		t.Fatalf("multi-gate errored: %v\n%s", err, out.String())
+	}
+}
+
+func TestParseAsserts(t *testing.T) {
+	gates, err := parseAsserts("BenchmarkA>=5,BenchmarkB >= 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 2 || gates[0].prefix != "BenchmarkA" || gates[0].factor != 5 ||
+		gates[1].prefix != "BenchmarkB" || gates[1].factor != 2.5 {
+		t.Errorf("parsed gates wrong: %+v", gates)
+	}
+	for _, bad := range []string{"", "BenchmarkA", "BenchmarkA>=x", "BenchmarkA>=0", "BenchmarkA>=-1"} {
+		if _, err := parseAsserts(bad); err == nil {
+			t.Errorf("parseAsserts(%q) accepted", bad)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, strings.NewReader("no benchmarks here"), &out); err == nil {
@@ -135,5 +201,8 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"a.txt", "b.txt"}, nil, &out); err == nil {
 		t.Error("two input files accepted")
+	}
+	if err := run([]string{"-assert", "BenchmarkA>=5"}, strings.NewReader(benchFixture), &out); err == nil {
+		t.Error("-assert without -compare accepted")
 	}
 }

@@ -139,7 +139,11 @@ subcommands:
                                                    nonzero on error findings not in the baseline
   run    [-workbook FILE] [-stand NAME] [-dut NAME] [-fault NAME] [-parallel N] [-format text|csv|xml|junit|ndjson] [-junit FILE] [-trace FILE] [-coordinator URL]
   mutate [-workbook FILE] [-dut NAME] [-stand NAME] [-all] [-parallel N] [-format text|json]
-                                                   mutation kill matrix + test-strength report
+         [-kills FILE] [-run-to-completion]
+                                                   mutation kill matrix + test-strength report;
+                                                   -kills (default <workbook>.kills.json) orders
+                                                   each mutant's scripts most-lethal-first and
+                                                   is rewritten after the run
   explore [-workbook FILE] [-dut NAME] [-stand NAME] [-budget N] [-seed N] [-parallel N]
           [-oracle FAULTS|survivors] [-promote FILE] [-format text|json]
                                                    coverage-guided scenario exploration
@@ -250,16 +254,13 @@ func cmdLint(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	// Loading already cross-validates; generation catches the remainder.
-	scripts, err := suite.GenerateScripts()
+	// Loading already cross-validates; compiling generates every script
+	// and validates each against the method registry in one step.
+	plan, err := comptest.Compile(suite)
 	if err != nil {
 		return err
 	}
-	for _, sc := range scripts {
-		if err := script.Validate(sc, suite.Registry); err != nil {
-			return err
-		}
-	}
+	scripts := plan.Scripts
 	res, err := lint.Run(lintSuite(suite, "", ""), lint.Options{})
 	if err != nil {
 		return err
@@ -490,18 +491,19 @@ func cmdRun(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	scripts, err := suite.GenerateScripts()
+	// Compile once: the plan carries every script's validated,
+	// classified form, and each unit executes through it.
+	plan, err := comptest.Compile(suite)
 	if err != nil {
 		return err
 	}
-	// The factory produces an independently faulted instance per
-	// execution unit; name and fault are validated once, up front.
+	// DUT name and fault are validated once, up front; the units then
+	// carry them by name (stands stay poolable across units).
 	var faults []string
 	if *fault != "" {
 		faults = []string{*fault}
 	}
-	factory, err := comptest.FaultedFactory(*dutName, faults...)
-	if err != nil {
+	if _, err := comptest.FaultedFactory(*dutName, faults...); err != nil {
 		return err
 	}
 	// Reports are streamed in script order even when -parallel reorders
@@ -532,11 +534,13 @@ func cmdRun(args []string, out io.Writer) error {
 	}))
 	opts := []comptest.Option{
 		comptest.WithStand(*standName),
-		comptest.WithDUTFactory(factory),
 		comptest.WithParallelism(*parallel),
 		comptest.WithSink(sink),
 	}
-	units := comptest.Cross(scripts, []string{*standName}, "")
+	units := plan.Units([]string{*standName}, *dutName)
+	for i := range units {
+		units[i].Faults = faults
+	}
 	var (
 		tracer    *comptest.Tracer
 		spans     *report.SpanWriter
@@ -747,6 +751,8 @@ func cmdMutate(args []string, out io.Writer) error {
 	all := fs.Bool("all", false, "mutate every registered DUT with a built-in workbook")
 	parallel := fs.Int("parallel", 1, "run up to N mutant executions concurrently")
 	format := fs.String("format", "text", "report format: text or json")
+	kills := fs.String("kills", "", "kill-statistics sidecar: read to order each mutant's scripts most-lethal-first, rewritten after the run (default: <workbook>.kills.json when -workbook is given)")
+	full := fs.Bool("run-to-completion", false, "disable early kill: run every script of every mutant (verdicts are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -784,9 +790,26 @@ func cmdMutate(args []string, out io.Writer) error {
 		plans = []*mutation.Plan{plan}
 	}
 
+	// The sidecar feeds back each script's demonstrated kill count, so
+	// early kill decides most mutants on their first run; after the run
+	// it is rewritten from the fresh matrix.
+	killsPath := *kills
+	if killsPath == "" && *workbook != "" {
+		killsPath = *workbook + ".kills.json"
+	}
+	var stats *lint.KillMatrix
+	if killsPath != "" && fileExists(killsPath) {
+		k, err := lint.ReadKillMatrixFile(killsPath)
+		if err != nil {
+			return err
+		}
+		stats = k
+	}
+
 	var strength report.Strength
 	for _, plan := range plans {
-		mat, err := mutation.Run(context.Background(), plan, mutation.Options{Parallelism: *parallel})
+		mat, err := mutation.Run(context.Background(), plan, mutation.Options{
+			Parallelism: *parallel, KillStats: stats, RunToCompletion: *full})
 		if err != nil {
 			return err
 		}
@@ -799,6 +822,19 @@ func cmdMutate(args []string, out io.Writer) error {
 		}
 		findings := lint.Check(plan.Suite.Signals, plan.Suite.Statuses, plan.Suite.Tests)
 		strength.DUTs = append(strength.DUTs, mat.Strength(findings))
+	}
+	if killsPath != "" {
+		f, ferr := os.Create(killsPath)
+		if ferr != nil {
+			return ferr
+		}
+		ferr = report.WriteStrengthJSON(f, &strength)
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			return ferr
+		}
 	}
 	if *format == "json" {
 		return report.WriteStrengthJSON(out, &strength)

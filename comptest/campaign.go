@@ -15,19 +15,38 @@ import (
 // defaults.
 type Unit struct {
 	Script *script.Script
-	Stand  string // registered stand profile, "" = Runner default
-	DUT    string // registered DUT model, "" = Runner default
+	// Compiled, when non-nil, is the pre-compiled form of Script (from
+	// Plan.Units or script.Compile); Script may then be nil and is
+	// derived from it. Units without a Compiled are compiled on demand
+	// through the Runner's cache, so the field is an optimisation for
+	// sharing one artifact across runners, not a requirement.
+	Compiled *script.Compiled
+	Stand    string // registered stand profile, "" = Runner default
+	DUT      string // registered DUT model, "" = Runner default
 	// Factory, when non-nil, builds this unit's DUT instance directly,
 	// overriding both DUT and the Runner's default. Campaign calls it
 	// once per unit, so mutated models (see FaultedFactory) never share
-	// state across concurrent executions.
+	// state across concurrent executions. Units with a Factory never
+	// share pooled stands.
 	Factory DUTFactory
+	// Faults are injected into the unit's DUT (ecu.ECU.InjectFault)
+	// before the run and cleared afterwards. Unlike a FaultedFactory
+	// DUT, a unit with Faults and a registered DUT name can reuse a
+	// pooled stand — the mutation engine runs its fault mutants this
+	// way.
+	Faults []string
+	// StopOnFail stops the run after the first step with a failing or
+	// erroring check; the remaining steps are reported as SKIP
+	// (stand.RunOptions.StopOnFail). Mutation early-kill sets this: it
+	// never changes a verdict, only how much work a decided run wastes.
+	StopOnFail bool
 	// Observer, when non-nil, is attached to this unit's stand and
 	// receives the behavioural trace of the execution (stand.Observer).
 	// Each unit needs its own observer instance: units run concurrently
 	// under WithParallelism, and observer callbacks are only serialised
 	// within one unit. The exploration engine (comptest/explore) records
-	// coverage through this field.
+	// coverage through this field. Units with an Observer never share
+	// pooled stands.
 	Observer stand.Observer
 }
 
@@ -136,26 +155,54 @@ func Cross(scripts []*script.Script, stands []string, dut string) []Unit {
 	return units
 }
 
+// Group is a sequence of units Campaign executes in order on one
+// worker, with an optional short-circuit: after every result, Stop (if
+// non-nil) decides whether the group's remaining units still matter.
+// Stopped units are counted as Skipped and never emitted — and because
+// the decision depends only on the group's own results, the executed
+// unit set is deterministic regardless of parallelism. The mutation
+// engine runs each mutant as one group that stops at the first kill.
+type Group struct {
+	Units []Unit
+	Stop  func(Result) bool
+}
+
 // Campaign fans the units out over a bounded worker pool
 // (WithParallelism) and streams every Result to the Runner's sinks the
-// moment it completes, instead of returning one slice at the end. Each
-// unit gets its own freshly built stand and DUT instance, so units
-// never share mutable state and execution order cannot change
-// verdicts.
+// moment it completes, instead of returning one slice at the end. Units
+// never share mutable state — each run exclusively owns its stand and
+// DUT — so execution order cannot change verdicts.
 //
 // Cancellation is honoured at three levels: undispatched units are
 // dropped (counted as Skipped, never emitted), running scripts stop at
 // the next step boundary (stand.RunContext), and Campaign returns
 // ctx.Err() alongside the partial Summary.
 func (r *Runner) Campaign(ctx context.Context, units []Unit) (Summary, error) {
-	sum := Summary{Units: len(units)}
-	if len(units) == 0 {
+	groups := make([]Group, len(units))
+	for i := range units {
+		groups[i].Units = units[i : i+1]
+	}
+	return r.CampaignGroups(ctx, groups)
+}
+
+// CampaignGroups is Campaign over unit groups: groups are dispatched to
+// the worker pool, the units within one group run sequentially (in
+// Result.Seq terms the units are numbered by their position in the
+// flattened group list). See Group for the short-circuit semantics.
+func (r *Runner) CampaignGroups(ctx context.Context, groups []Group) (Summary, error) {
+	var sum Summary
+	base := make([]int, len(groups)) // first Seq of each group
+	for i, g := range groups {
+		base[i] = sum.Units
+		sum.Units += len(g.Units)
+	}
+	if sum.Units == 0 {
 		return sum, ctx.Err()
 	}
 
 	workers := r.parallel
-	if workers > len(units) {
-		workers = len(units)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
 
 	var (
@@ -177,22 +224,39 @@ func (r *Runner) Campaign(ctx context.Context, units []Unit) (Summary, error) {
 		mu.Unlock()
 		r.emit(res)
 	}
+	skip := func(n int) {
+		mu.Lock()
+		sum.Skipped += n
+		mu.Unlock()
+	}
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				account(r.runUnit(ctx, i, units[i]))
+			for gi := range idx {
+				g := groups[gi]
+				for k := 0; k < len(g.Units); k++ {
+					if k > 0 && ctx.Err() != nil {
+						skip(len(g.Units) - k)
+						break
+					}
+					res := r.runUnit(ctx, base[gi]+k, g.Units[k])
+					account(res)
+					if g.Stop != nil && g.Stop(res) {
+						skip(len(g.Units) - k - 1)
+						break
+					}
+				}
 			}
 		}()
 	}
 
 dispatch:
-	for i := range units {
+	for i := range groups {
 		// Checked before each send: a select alone would race a ready
 		// Done channel against a ready worker and dispatch a random
-		// subset of the remaining units.
+		// subset of the remaining groups.
 		if ctx.Err() != nil {
 			break dispatch
 		}
@@ -206,25 +270,62 @@ dispatch:
 	close(idx)
 	wg.Wait()
 
-	sum.Skipped = len(units) - dispatched
+	for _, g := range groups[dispatched:] {
+		sum.Skipped += len(g.Units)
+	}
 	return sum, ctx.Err()
 }
 
-// runUnit executes one campaign unit on its own stand.
+// runUnit executes one campaign unit on an exclusively owned stand —
+// pooled across units of equivalent configuration, freshly built
+// otherwise.
 func (r *Runner) runUnit(ctx context.Context, seq int, u Unit) Result {
+	if u.Script == nil && u.Compiled != nil {
+		u.Script = u.Compiled.Script
+	}
 	res := Result{Seq: seq, Unit: u}
 	if u.Script == nil {
 		res.Err = fmt.Errorf("comptest: unit %d has no script", seq)
 		return res
 	}
-	st, err := r.newStand(u.Stand, u.DUT, u.Factory, u.Script)
-	if err != nil {
-		res.Err = err
-		return res
+	key := r.standKey(u)
+	st := r.takeStand(key)
+	if st == nil {
+		var err error
+		st, err = r.newStand(u.Stand, u.DUT, u.Factory, u.Script)
+		if err != nil {
+			res.Err = err
+			return res
+		}
 	}
 	if u.Observer != nil {
 		st.SetObserver(u.Observer)
 	}
-	res.Report = st.RunContext(ctx, u.Script)
+	faulted := len(u.Faults) > 0
+	if faulted {
+		dut := st.DUT()
+		if dut == nil {
+			res.Err = fmt.Errorf("comptest: unit %d injects faults but has no DUT", seq)
+			return res
+		}
+		for _, f := range u.Faults {
+			if err := dut.InjectFault(f); err != nil {
+				res.Err = err
+				return res // stand state unknown: never pooled
+			}
+		}
+	}
+	c := u.Compiled
+	if c == nil {
+		c = r.compiledFor(u.Script)
+	}
+	if c != nil {
+		res.Report = st.RunCompiled(ctx, c, stand.RunOptions{StopOnFail: u.StopOnFail})
+	} else {
+		// The script does not compile; the interpreted path re-validates
+		// and renders the canonical error report.
+		res.Report = st.RunContext(ctx, u.Script)
+	}
+	r.releaseStand(key, st, faulted)
 	return res
 }

@@ -6,10 +6,21 @@
 //	workbook (signal/status/test sheets)
 //	   │  LoadSuite / LoadSuiteString / LoadSuiteFile
 //	   ▼
-//	Suite ── GenerateScripts ──► XML test scripts (test-stand independent)
-//	   │                              │
-//	   │                              ▼  run on ANY registered stand
-//	   │                  Runner ── Campaign ──► streamed report.Reports
+//	Suite ── Compile ──► Plan (validated scripts + compiled programs)
+//	   │                   │
+//	   │                   ▼  run on ANY registered stand
+//	   │       Runner ── RunPlan / Campaign ──► streamed report.Reports
+//
+// Execution is a two-phase API: Compile turns a loaded Suite into a
+// Plan — every generated script validated and lowered once into its
+// executable form (see internal/stand.CompileScript) — and Runners
+// execute Plans. The compile step is pure front-end work (generation,
+// validation, symbolic-limit folding, step routing), so its cost is
+// paid once per suite instead of once per unit; a Plan is immutable
+// and safe to share across goroutines, runners, the serve cache and
+// the mutation engine. Plan.Units expands the M scripts × N stands
+// matrix into campaign Units that carry their compiled program
+// alongside the script.
 //
 // The entry point is the Runner, built with functional options:
 //
@@ -20,12 +31,24 @@
 //		comptest.WithSink(sink),
 //	)
 //
-// A Runner executes single scripts (RunScript), whole suites
-// (RunSuite/RunWorkbook) or a Campaign: M scripts × N stand configs fanned
-// out over a bounded worker pool, each result streamed to the configured
-// sinks the moment it completes. context.Context is honoured throughout;
-// cancellation takes effect at the next step boundary (see
-// stand.RunContext).
+// A Runner executes single scripts (RunScript), whole plans (RunPlan)
+// or a Campaign: M scripts × N stand configs fanned out over a bounded
+// worker pool, each result streamed to the configured sinks the moment
+// it completes. context.Context is honoured throughout; cancellation
+// takes effect at the next step boundary (see stand.RunContext).
+//
+// Migration note: the interpret-per-unit entry points RunSuite and
+// RunWorkbook are deprecated. They survive as thin wrappers — compile
+// the suite internally, then delegate to RunPlan — so existing callers
+// keep working unchanged, but new code should Compile once and pass
+// the Plan around:
+//
+//	suite, _ := comptest.LoadSuiteString(workbook)
+//	plan, err := comptest.Compile(suite)   // was: r.RunSuite(ctx, suite)
+//	reps, err := r.RunPlan(ctx, plan)
+//
+// The wrappers will be removed one release after the CLI, examples and
+// serve/dist engines finished migrating (they already run on Plans).
 //
 // Stands and DUT models are looked up in process-wide registries
 // (RegisterStand, RegisterDUT) keyed by name — the four built-in stand

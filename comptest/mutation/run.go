@@ -8,6 +8,7 @@ import (
 	"repro/comptest"
 	"repro/internal/lint"
 	"repro/internal/report"
+	"repro/internal/script"
 )
 
 // Outcome is the kill-matrix verdict on one mutant.
@@ -43,10 +44,26 @@ type Options struct {
 	// completes — baseline runs and mutant runs alike, in completion
 	// order. The campaign service streams live NDJSON through this.
 	Sink comptest.Sink
+	// KillStats, when non-nil, orders each mutant's scripts by their
+	// demonstrated kill count from a previous run (lint.ReadKillMatrixFile
+	// on a saved strength report — the `.kills.json` sidecar), so early
+	// kill decides most mutants on their first run. Ties keep workbook
+	// order. The ordering is fixed before execution starts, so verdicts
+	// and witnesses are identical with and without RunToCompletion.
+	KillStats *lint.KillMatrix
+	// RunToCompletion disables the two short-circuits — early kill
+	// within a run (stop at the first deviating step) and stop-at-first-
+	// kill within a mutant's script set. Verdicts, witnesses and scores
+	// are identical either way (the baseline is enforced green, so the
+	// first deviation decides); the flag exists for the equivalence
+	// tests and for producing complete failure listings.
+	RunToCompletion bool
 }
 
 // Run executes the plan's full kill matrix: the clean baseline plus
-// every mutant's script set, all fanned out as ONE campaign over the
+// every mutant's script set. Each mutant is one campaign group —
+// its runs execute in order on one worker and, unless RunToCompletion
+// is set, stop at the first kill — and the groups fan out over the
 // bounded worker pool, so mutants of different cost interleave freely.
 // It fails if the baseline does not pass — a red baseline makes every
 // kill meaningless.
@@ -55,20 +72,36 @@ func Run(ctx context.Context, plan *Plan, opts Options) (*Matrix, error) {
 	if par < 1 {
 		par = 1
 	}
+	earlyKill := !opts.RunToCompletion
 
 	// Unit i belongs to mutant owner[i]; -1 marks a baseline unit.
-	var units []comptest.Unit
+	var groups []comptest.Group
 	var owner []int
 	for _, sc := range plan.Baseline {
-		units = append(units, comptest.Unit{Script: sc, Stand: plan.Stand, Factory: plan.factory})
+		groups = append(groups, comptest.Group{Units: []comptest.Unit{
+			{Script: sc, Stand: plan.Stand, DUT: plan.DUT}}})
 		owner = append(owner, -1)
+	}
+	killed := func(res comptest.Result) bool {
+		return res.Err == nil && !res.Report.Passed()
 	}
 	for mi := range plan.Mutants {
 		m := &plan.Mutants[mi]
-		for _, sc := range m.scripts {
-			units = append(units, comptest.Unit{Script: sc, Stand: plan.Stand, Factory: m.factory})
+		units := make([]comptest.Unit, 0, len(m.scripts))
+		for _, sc := range orderScripts(m.scripts, opts.KillStats) {
+			u := comptest.Unit{Script: sc, Stand: plan.Stand, DUT: plan.DUT,
+				StopOnFail: earlyKill}
+			if m.Kind == FaultMutant {
+				u.Faults = []string{m.Fault.Name}
+			}
+			units = append(units, u)
 			owner = append(owner, mi)
 		}
+		g := comptest.Group{Units: units}
+		if earlyKill {
+			g.Stop = killed
+		}
+		groups = append(groups, g)
 	}
 
 	collector := &comptest.Collector{}
@@ -84,7 +117,7 @@ func Run(ctx context.Context, plan *Plan, opts Options) (*Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := r.Campaign(ctx, units); err != nil {
+	if _, err := r.CampaignGroups(ctx, groups); err != nil {
 		return nil, err
 	}
 
@@ -126,6 +159,21 @@ func Run(ctx context.Context, plan *Plan, opts Options) (*Matrix, error) {
 		}
 	}
 	return mat, nil
+}
+
+// orderScripts returns the mutant's scripts most-lethal-first according
+// to the kill statistics, or unchanged without statistics. The input is
+// shared across mutants and never modified.
+func orderScripts(scripts []*script.Script, stats *lint.KillMatrix) []*script.Script {
+	if stats == nil || len(scripts) < 2 {
+		return scripts
+	}
+	out := make([]*script.Script, len(scripts))
+	copy(out, scripts)
+	sort.SliceStable(out, func(i, j int) bool {
+		return stats.ScriptKills(out[i].Name) > stats.ScriptKills(out[j].Name)
+	})
+	return out
 }
 
 // witness renders the first failing check of a failing run.

@@ -1,0 +1,81 @@
+package comptest
+
+import (
+	"fmt"
+
+	"repro/internal/script"
+)
+
+// Plan is the compile-once execution artifact of a suite: every test
+// case generated to its XML script and compiled against the suite's
+// method registry — validated once, statements classified once. A Plan
+// and everything it references is immutable after Compile returns, so
+// one Plan may be executed any number of times, by any number of
+// stands, concurrently; this is what the engines (run, mutate, explore,
+// serve, dist) hand to Campaign instead of re-interpreting the workbook
+// per unit.
+type Plan struct {
+	// Suite is the workbook the plan was compiled from.
+	Suite *Suite
+	// Scripts are the generated scripts, one per test case, in workbook
+	// order.
+	Scripts []*script.Script
+
+	compiled map[*script.Script]*script.Compiled
+}
+
+// Compile generates and compiles every test case of the suite. It is
+// the entry point of the compiled execution path:
+//
+//	suite, _ := comptest.LoadSuiteFile("workbook.csv")
+//	plan, _ := comptest.Compile(suite)
+//	runner.Campaign(ctx, plan.Units(comptest.StandNames(), "interior_light"))
+func Compile(suite *Suite) (*Plan, error) {
+	if suite == nil {
+		return nil, fmt.Errorf("comptest: Compile needs a suite")
+	}
+	scripts, err := suite.GenerateScripts()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Suite: suite, Scripts: scripts,
+		compiled: make(map[*script.Script]*script.Compiled, len(scripts))}
+	for _, sc := range scripts {
+		c, err := script.Compile(sc, suite.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("comptest: compile %s: %w", sc.Name, err)
+		}
+		p.compiled[sc] = c
+	}
+	return p, nil
+}
+
+// Compiled returns the compiled form of one of the plan's scripts, or
+// nil for a script the plan does not own.
+func (p *Plan) Compiled(sc *script.Script) *script.Compiled {
+	return p.compiled[sc]
+}
+
+// Script returns the plan's script of the named test case, or nil.
+func (p *Plan) Script(name string) *script.Script {
+	for _, sc := range p.Scripts {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}
+
+// Units builds the campaign units of the plan's full matrix — every
+// script on every named stand, with the given DUT model ("" = Runner
+// default) — in the same order as Cross, with the compiled artifacts
+// attached.
+func (p *Plan) Units(stands []string, dut string) []Unit {
+	units := make([]Unit, 0, len(p.Scripts)*len(stands))
+	for _, st := range stands {
+		for _, sc := range p.Scripts {
+			units = append(units, Unit{Script: sc, Compiled: p.compiled[sc], Stand: st, DUT: dut})
+		}
+	}
+	return units
+}

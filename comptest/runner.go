@@ -15,8 +15,15 @@ import (
 
 // Runner executes test-stand-independent scripts. It is configured once
 // via functional options and may then be used for any number of runs;
-// every execution unit gets its own freshly built stand and DUT, so a
-// Runner is safe for concurrent use.
+// execution units never share mutable state (each gets an exclusively
+// owned stand and DUT for the duration of its run), so a Runner is safe
+// for concurrent use.
+//
+// Two caches make repeated execution cheap without changing a single
+// output byte: scripts are compiled (validated and classified) once per
+// Runner and executed through stand.RunCompiled, and stands of
+// equivalent configuration are pooled across units instead of being
+// rebuilt per run (see WithoutStandPool).
 type Runner struct {
 	methods *method.Registry
 
@@ -28,6 +35,13 @@ type Runner struct {
 	strategy *alloc.Strategy // nil = leave the profile's default
 	settle   time.Duration   // 0 = leave the profile's default
 	parallel int
+	noPool   bool
+
+	compileMu sync.RWMutex
+	compiled  map[*script.Script]*script.Compiled // nil value: compile failed
+
+	poolMu sync.Mutex
+	pools  map[string]*sync.Pool // reusable stands by configuration key
 
 	emitMu sync.Mutex // serialises sink emission across workers
 	sinks  []Sink
@@ -40,6 +54,8 @@ func NewRunner(opts ...Option) (*Runner, error) {
 		methods:   method.Builtin(),
 		standName: "paper_stand",
 		parallel:  1,
+		compiled:  map[*script.Script]*script.Compiled{},
+		pools:     map[string]*sync.Pool{},
 	}
 	for _, opt := range opts {
 		if err := opt(r); err != nil {
@@ -127,7 +143,20 @@ func (r *Runner) RunScript(ctx context.Context, sc *script.Script) (*report.Repo
 	if err != nil {
 		return nil, err
 	}
-	return st.RunContext(ctx, sc), nil
+	return r.runOn(ctx, st, sc, nil), nil
+}
+
+// runOn executes one script on a stand, compiled when it compiles and
+// interpreted otherwise (the interpreted path re-validates and renders
+// the canonical error report). c may pre-supply the compiled form.
+func (r *Runner) runOn(ctx context.Context, st *stand.Stand, sc *script.Script, c *script.Compiled) *report.Report {
+	if c == nil {
+		c = r.compiledFor(sc)
+	}
+	if c != nil {
+		return st.RunCompiled(ctx, c, stand.RunOptions{})
+	}
+	return st.RunContext(ctx, sc)
 }
 
 // RunSuite generates every script of the suite and executes them in
@@ -135,11 +164,33 @@ func (r *Runner) RunScript(ctx context.Context, sc *script.Script) (*report.Repo
 // Each report is streamed to the Runner's sinks as it completes and the
 // full slice is returned. On cancellation the already-produced reports
 // are returned alongside ctx.Err().
+//
+// Deprecated: RunSuite re-generates and re-validates the suite on every
+// call. Compile once and hold on to the Plan — RunSuite is now a thin
+// wrapper over Compile + RunPlan (falling back to the interpreted path
+// only when the suite does not compile) and will be removed in the
+// release after next.
 func (r *Runner) RunSuite(ctx context.Context, suite *Suite) ([]*report.Report, error) {
-	scripts, err := suite.GenerateScripts()
+	plan, err := Compile(suite)
 	if err != nil {
-		return nil, err
+		// A suite that generates but does not compile still runs — the
+		// interpreted path reports the validation failure per script.
+		scripts, gerr := suite.GenerateScripts()
+		if gerr != nil {
+			return nil, gerr
+		}
+		return r.runPipeline(ctx, scripts, nil)
 	}
+	return r.RunPlan(ctx, plan)
+}
+
+// RunPlan executes a compiled plan's scripts in order on ONE stand
+// instance — the compiled equivalent of RunSuite.
+func (r *Runner) RunPlan(ctx context.Context, plan *Plan) ([]*report.Report, error) {
+	return r.runPipeline(ctx, plan.Scripts, plan)
+}
+
+func (r *Runner) runPipeline(ctx context.Context, scripts []*script.Script, plan *Plan) ([]*report.Report, error) {
 	if len(scripts) == 0 {
 		return nil, nil
 	}
@@ -152,15 +203,24 @@ func (r *Runner) RunSuite(ctx context.Context, suite *Suite) ([]*report.Report, 
 		if err := ctx.Err(); err != nil {
 			return reps, err
 		}
-		rep := st.RunContext(ctx, sc)
+		var c *script.Compiled
+		if plan != nil {
+			c = plan.Compiled(sc)
+		}
+		rep := r.runOn(ctx, st, sc, c)
 		reps = append(reps, rep)
-		r.emit(Result{Seq: i, Unit: Unit{Script: sc}, Report: rep})
+		r.emit(Result{Seq: i, Unit: Unit{Script: sc, Compiled: c}, Report: rep})
 	}
 	return reps, ctx.Err()
 }
 
 // RunWorkbook is the complete paper pipeline for one workbook: load,
 // validate, generate, execute every test on the default stand, report.
+//
+// Deprecated: RunWorkbook re-interprets the workbook on every call. Use
+// LoadSuiteString + Compile + RunPlan, which validates and classifies
+// the scripts once and reuses the artifact across runs. RunWorkbook
+// will be removed in the next release.
 func (r *Runner) RunWorkbook(ctx context.Context, workbook string) ([]*report.Report, error) {
 	suite, err := LoadSuiteString(workbook)
 	if err != nil {

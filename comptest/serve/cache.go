@@ -21,6 +21,12 @@ type Artifact struct {
 	Key     string
 	Suite   *comptest.Suite
 	Scripts []*script.Script
+	// Plan is the compiled execution plan (comptest.Compile): the
+	// validated, classified form every job built from this workbook
+	// executes, compiled once per content hash. nil when the workbook
+	// generates scripts that do not compile — such jobs run interpreted
+	// and report the validation failure per script.
+	Plan *comptest.Plan
 	// Source is the exact workbook text the artifact was built from —
 	// what a distributing executor ships to remote workers, whose own
 	// content-addressed caches then parse it once per node.
@@ -121,10 +127,19 @@ func (c *Cache) Load(workbook []byte) (*Artifact, error) {
 	c.misses.Add(1)
 	suite, err := comptest.LoadSuiteString(string(workbook))
 	if err == nil {
-		var scripts []*script.Script
-		if scripts, err = suite.GenerateScripts(); err == nil {
-			e.art = &Artifact{Key: hex.EncodeToString(key[:]), Suite: suite, Scripts: scripts,
-				Source: append([]byte(nil), workbook...)}
+		art := &Artifact{Key: hex.EncodeToString(key[:]), Suite: suite,
+			Source: append([]byte(nil), workbook...)}
+		if plan, perr := comptest.Compile(suite); perr == nil {
+			art.Plan, art.Scripts = plan, plan.Scripts
+			e.art = art
+		} else if scripts, gerr := suite.GenerateScripts(); gerr == nil {
+			// The workbook generates but does not compile: a plan-less
+			// artifact runs interpreted and the per-script reports carry
+			// the validation failure.
+			art.Scripts = scripts
+			e.art = art
+		} else {
+			err = gerr
 		}
 	}
 	e.err = err

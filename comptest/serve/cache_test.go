@@ -21,6 +21,19 @@ func TestCacheHitIsPointerEqual(t *testing.T) {
 	if a != b || a.Suite != b.Suite {
 		t.Error("identical workbook bytes did not hit the cache")
 	}
+	// The compiled plan is part of the artifact: a cache hit returns the
+	// very same Plan, so jobs never recompile a known workbook.
+	if a.Plan == nil {
+		t.Fatal("artifact has no compiled plan")
+	}
+	if a.Plan != b.Plan {
+		t.Error("cache hit returned a different compiled plan")
+	}
+	for _, sc := range a.Scripts {
+		if a.Plan.Compiled(sc) == nil {
+			t.Errorf("plan has no compiled form for %s", sc.Name)
+		}
+	}
 	if len(a.Scripts) == 0 || a.Key == "" {
 		t.Errorf("artifact incomplete: %d scripts, key %q", len(a.Scripts), a.Key)
 	}

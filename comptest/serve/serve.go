@@ -694,6 +694,9 @@ func (s *Server) runCampaign(ctx context.Context, ex Execution) (string, error) 
 	starts := make([]time.Time, len(units))
 	for i := range units {
 		i := i
+		if ex.Art.Plan != nil {
+			units[i].Compiled = ex.Art.Plan.Compiled(units[i].Script)
+		}
 		units[i].Factory = func() ecu.ECU {
 			starts[i] = s.now()
 			return factory()

@@ -3,9 +3,15 @@ package comptest
 import (
 	"encoding/json"
 	"io"
+	"sync"
 
 	"repro/internal/report"
 )
+
+// linePool recycles the per-result write buffers of every NDJSON sink:
+// campaigns emit one line per unit, and re-allocating line+newline for
+// each would double the encoding garbage of the hot path.
+var linePool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
 
 // NDJSONSink streams campaign results as newline-delimited JSON: one
 // report.Report object per completed unit (report.EncodeJSON), or one
@@ -44,7 +50,10 @@ func (s *NDJSONSink) Emit(r Result) {
 	if s.err != nil {
 		return
 	}
-	_, s.err = s.w.Write(append(line, '\n'))
+	buf := linePool.Get().(*[]byte)
+	*buf = append(append((*buf)[:0], line...), '\n')
+	_, s.err = s.w.Write(*buf)
+	linePool.Put(buf)
 }
 
 // Err returns the first write or encode failure, or nil.

@@ -5,8 +5,14 @@
 //
 // The public API lives in the comptest package (Runner, functional
 // options, stand/DUT registries, concurrent campaigns — see README.md
-// for a quickstart), with the mutation-testing subsystem in
-// comptest/mutation (mutant enumeration, kill-matrix campaigns,
+// for a quickstart). Execution is compile-once: comptest.Compile turns
+// a loaded Suite into an immutable Plan (validated scripts lowered to
+// executable programs), and runners, campaigns, the CLI, the serve
+// cache and the distributed engine all execute Plans; the old
+// interpret-per-unit entry points (RunSuite, RunWorkbook) survive as
+// deprecated wrappers. The mutation-testing subsystem lives in
+// comptest/mutation (mutant enumeration, kill-matrix campaigns with
+// early-kill short-circuits ordered by historical kill probability,
 // test-strength reports) and coverage-guided scenario exploration in
 // comptest/explore (seeded random-walk generation, behavioural
 // coverage, shrinking, promotion of discovered scenarios into

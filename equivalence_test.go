@@ -1,0 +1,314 @@
+package repro
+
+// The compiled-path equivalence suite: the optimisations of the
+// execution engine — compiling scripts once (comptest.Compile), the
+// quiescence fast-forward, stand pooling, worker parallelism and
+// mutation early-kill — are pure speed-ups. Every one of them must
+// leave the observable output byte-identical to the naive path, and
+// this file pins each dimension against its ground truth over the FULL
+// builtin matrix: every registered DUT's workbook on every registered
+// stand profile, including the pairs whose runs fail by design
+// (allocation errors on under-equipped stands).
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/comptest"
+	"repro/comptest/mutation"
+	"repro/internal/lint"
+	"repro/internal/report"
+	"repro/internal/script"
+	"repro/internal/stand"
+)
+
+// compileBuiltin compiles the builtin workbook of every registered DUT.
+func compileBuiltin(t *testing.T) map[string]*comptest.Plan {
+	t.Helper()
+	plans := map[string]*comptest.Plan{}
+	for _, dut := range comptest.DUTNames() {
+		wb, err := comptest.BuiltinWorkbook(dut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite, err := comptest.LoadSuiteString(wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := comptest.Compile(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[dut] = plan
+	}
+	return plans
+}
+
+// freshStand builds the named stand profile for one script's harness
+// with a fresh instance of the named DUT attached.
+func freshStand(t *testing.T, standName, dut string, plan *comptest.Plan, sc *script.Script) *stand.Stand {
+	t.Helper()
+	cfg, err := comptest.BuildStand(standName, plan.Suite.Registry, stand.HarnessFromScript(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stand.New(cfg, plan.Suite.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := comptest.NewDUT(dut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AttachDUT(d); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func encode(t *testing.T, rep *report.Report) []byte {
+	t.Helper()
+	b, err := report.EncodeJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// forEachPair runs f for every (DUT script, stand profile) combination
+// of the builtin matrix.
+func forEachPair(t *testing.T, plans map[string]*comptest.Plan,
+	f func(t *testing.T, standName, dut string, plan *comptest.Plan, sc *script.Script)) {
+	t.Helper()
+	for _, dut := range comptest.DUTNames() {
+		plan := plans[dut]
+		for _, standName := range comptest.StandNames() {
+			for _, sc := range plan.Scripts {
+				f(t, standName, dut, plan, sc)
+			}
+		}
+	}
+}
+
+// TestPlanInterpretedEquivalence pins the tentpole contract: executing
+// a plan's compiled script (Stand.RunCompiled) produces a report
+// byte-identical to interpreting the same script from scratch
+// (Stand.RunContext) on an identically built stand.
+func TestPlanInterpretedEquivalence(t *testing.T) {
+	plans := compileBuiltin(t)
+	ctx := context.Background()
+	forEachPair(t, plans, func(t *testing.T, standName, dut string, plan *comptest.Plan, sc *script.Script) {
+		interpreted := encode(t, freshStand(t, standName, dut, plan, sc).RunContext(ctx, sc))
+		compiled := encode(t, freshStand(t, standName, dut, plan, sc).
+			RunCompiled(ctx, plan.Compiled(sc), stand.RunOptions{}))
+		if !bytes.Equal(interpreted, compiled) {
+			t.Errorf("%s on %s (%s): compiled report differs from interpreted\ninterpreted: %s\ncompiled:    %s",
+				sc.Name, standName, dut, interpreted, compiled)
+		}
+	})
+}
+
+// TestFastForwardEquivalence pins the quiescence fast-forward against
+// tick-by-tick ground truth: with SetFastForward(false) the stand
+// simulates every task period the slow way, and the report must come
+// out byte-identical.
+func TestFastForwardEquivalence(t *testing.T) {
+	plans := compileBuiltin(t)
+	ctx := context.Background()
+	forEachPair(t, plans, func(t *testing.T, standName, dut string, plan *comptest.Plan, sc *script.Script) {
+		slow := freshStand(t, standName, dut, plan, sc)
+		slow.SetFastForward(false)
+		ground := encode(t, slow.RunCompiled(ctx, plan.Compiled(sc), stand.RunOptions{}))
+		fast := encode(t, freshStand(t, standName, dut, plan, sc).
+			RunCompiled(ctx, plan.Compiled(sc), stand.RunOptions{}))
+		if !bytes.Equal(ground, fast) {
+			t.Errorf("%s on %s (%s): fast-forward report differs from tick-by-tick\nticked: %s\nfastfw: %s",
+				sc.Name, standName, dut, ground, fast)
+		}
+	})
+}
+
+// TestCampaignStreamEquivalence runs the full builtin unit matrix as a
+// campaign under every combination of stand pooling and parallelism,
+// streaming each run through an Ordered NDJSON sink, and requires all
+// four byte streams to be identical. This is what makes the pooled,
+// parallel production configuration trustworthy: neither reusing a
+// stand (AlignForReuse) nor completion order may leak into results.
+func TestCampaignStreamEquivalence(t *testing.T) {
+	plans := compileBuiltin(t)
+	var units []comptest.Unit
+	for _, dut := range comptest.DUTNames() {
+		units = append(units, plans[dut].Units(comptest.StandNames(), dut)...)
+	}
+	run := func(par int, pooled bool) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		nd := comptest.NDJSON(&buf)
+		opts := []comptest.Option{
+			comptest.WithParallelism(par),
+			comptest.WithSink(comptest.Ordered(nd)),
+		}
+		if !pooled {
+			opts = append(opts, comptest.WithoutStandPool())
+		}
+		r, err := comptest.NewRunner(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Campaign(context.Background(), units); err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := run(1, true)
+	if len(bytes.TrimSpace(base)) == 0 {
+		t.Fatal("campaign emitted no results")
+	}
+	for _, v := range []struct {
+		name   string
+		par    int
+		pooled bool
+	}{
+		{"parallel_1/unpooled", 1, false},
+		{"parallel_4/pooled", 4, true},
+		{"parallel_4/unpooled", 4, false},
+	} {
+		if got := run(v.par, v.pooled); !bytes.Equal(base, got) {
+			t.Errorf("%s: NDJSON stream differs from parallel_1/pooled", v.name)
+		}
+	}
+}
+
+// TestEarlyKillEquivalence pins the mutation short-circuits: stopping a
+// mutant at its first deviating step and at its first killing run must
+// produce the same kill verdicts, witnesses and score as running every
+// script of every mutant to completion — and reordering a mutant's
+// scripts by historical kill counts (the .kills.json sidecar) must not
+// change any verdict either.
+func TestEarlyKillEquivalence(t *testing.T) {
+	plans, err := mutation.EnumerateBuiltin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, p := range plans {
+		early, err := mutation.Run(ctx, p, mutation.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := mutation.Run(ctx, p, mutation.Options{RunToCompletion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameVerdicts(t, p.DUT+"/early-vs-full", early, full, true)
+
+		// Kill-probability ordering changes which script runs first, so
+		// the witness may legitimately name a different check — but the
+		// verdicts may not move, and early kill under the new order must
+		// again match run-to-completion exactly.
+		s := report.Strength{DUTs: []report.DUTStrength{early.Strength(nil)}}
+		stats := lint.KillMatrixFromStrength(&s)
+		ordered, err := mutation.Run(ctx, p, mutation.Options{KillStats: stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orderedFull, err := mutation.Run(ctx, p,
+			mutation.Options{KillStats: stats, RunToCompletion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameVerdicts(t, p.DUT+"/ordered-vs-unordered", early, ordered, false)
+		sameVerdicts(t, p.DUT+"/ordered-early-vs-full", ordered, orderedFull, true)
+	}
+}
+
+// sameVerdicts compares two kill matrices mutant by mutant: identical
+// IDs, kill verdicts and scores, and — when witness is set — identical
+// witness checks.
+func sameVerdicts(t *testing.T, label string, a, b *mutation.Matrix, witness bool) {
+	t.Helper()
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("%s: %d vs %d outcomes", label, len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		oa, ob := &a.Outcomes[i], &b.Outcomes[i]
+		if oa.Mutant.ID != ob.Mutant.ID {
+			t.Fatalf("%s: outcome %d is %s vs %s", label, i, oa.Mutant.ID, ob.Mutant.ID)
+		}
+		if oa.Err != nil || ob.Err != nil {
+			t.Errorf("%s: %s errored: %v / %v", label, oa.Mutant.ID, oa.Err, ob.Err)
+			continue
+		}
+		if oa.Killed != ob.Killed {
+			t.Errorf("%s: %s killed=%v vs %v", label, oa.Mutant.ID, oa.Killed, ob.Killed)
+		}
+		if witness && oa.Witness != ob.Witness {
+			t.Errorf("%s: %s witness %q vs %q", label, oa.Mutant.ID, oa.Witness, ob.Witness)
+		}
+	}
+	if sa, sb := a.Score(), b.Score(); sa != sb {
+		t.Errorf("%s: score %d/%d vs %d/%d", label, sa.Killed, sa.Total, sb.Killed, sb.Total)
+	}
+}
+
+// TestStopOnFailPrefixEquivalence pins the step-level early kill on a
+// known-failing run: up to and including the first deviating step the
+// report is identical to the complete run, and every later step is
+// reported as SKIP. A faulted interior light fails the paper script
+// deterministically, which gives the test its fixed deviation point.
+func TestStopOnFailPrefixEquivalence(t *testing.T) {
+	plans := compileBuiltin(t)
+	plan := plans["interior_light"]
+	sc := plan.Script("InteriorIllumination")
+	if sc == nil {
+		t.Fatal("paper workbook lost its script")
+	}
+	ctx := context.Background()
+
+	faulted := func() *stand.Stand {
+		st := freshStand(t, "paper_stand", "interior_light", plan, sc)
+		if err := st.DUT().InjectFault("stuck_off"); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	full := faulted().RunCompiled(ctx, plan.Compiled(sc), stand.RunOptions{})
+	short := faulted().RunCompiled(ctx, plan.Compiled(sc), stand.RunOptions{StopOnFail: true})
+
+	if len(full.Steps) != len(short.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(full.Steps), len(short.Steps))
+	}
+	deviated := false
+	for i := range full.Steps {
+		fs, ss := &full.Steps[i], &short.Steps[i]
+		if !deviated {
+			fb := encode(t, &report.Report{Steps: []report.StepResult{*fs}})
+			sb := encode(t, &report.Report{Steps: []report.StepResult{*ss}})
+			if !bytes.Equal(fb, sb) {
+				t.Errorf("step %d before deviation differs:\nfull:  %s\nshort: %s", i, fb, sb)
+			}
+			for j := range fs.Checks {
+				if v := fs.Checks[j].Verdict; v == report.Fail || v == report.Error {
+					deviated = true
+					break
+				}
+			}
+			continue
+		}
+		for j := range ss.Checks {
+			if v := ss.Checks[j].Verdict; v != report.Skip {
+				t.Errorf("step %d after deviation has verdict %s, want SKIP", i, v)
+			}
+		}
+	}
+	if !deviated {
+		t.Fatal("faulted run never deviated — the fixture lost its failure")
+	}
+	if full.Passed() || short.Passed() {
+		t.Fatal("faulted run passed")
+	}
+}

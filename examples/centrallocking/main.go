@@ -4,9 +4,9 @@
 // motor pulse timing measured with get_t.
 //
 // The workbook (internal/workbooks.CentralLocking) carries four test
-// definition sheets; all are generated to XML and executed on a full lab
-// stand through the public comptest Runner, each verdict streamed to a
-// sink as it completes. The example then shows the paper's error path:
+// definition sheets; all are compiled once into an execution Plan
+// (comptest.Compile) and executed on a full lab stand through the public
+// comptest Runner, each verdict streamed to a sink as it completes. The example then shows the paper's error path:
 // the mini bench has no counter, so the static portability check refuses
 // the pulse-timing test.
 //
@@ -29,10 +29,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scripts, err := suite.GenerateScripts()
+	plan, err := comptest.Compile(suite)
 	if err != nil {
 		log.Fatal(err)
 	}
+	scripts := plan.Scripts
 	fmt.Printf("central locking workbook: %d signals, %d statuses, %d tests\n",
 		suite.Signals.Len(), suite.Statuses.Len(), len(scripts))
 
@@ -56,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := r.RunSuite(context.Background(), suite); err != nil {
+	if _, err := r.RunPlan(context.Background(), plan); err != nil {
 		log.Fatal(err)
 	}
 

@@ -31,10 +31,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc, err := suite.GenerateScript("InteriorIllumination")
+	plan, err := comptest.Compile(suite)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sc := plan.Script("InteriorIllumination")
 
 	// 1. The paper's XML fragment.
 	text, err := script.EncodeString(sc)
@@ -54,13 +55,13 @@ func main() {
 	}
 
 	// 2. Healthy run.
-	fmt.Printf("\nhealthy DUT: %s\n", runOnce(sc, ""))
+	fmt.Printf("\nhealthy DUT: %s\n", runOnce(plan, sc, ""))
 
 	// 3. Mutant campaign.
 	fmt.Println("\nmutant campaign (paper test table vs injected requirement violations):")
 	detected, total := 0, 0
 	for _, fault := range ecu.NewInteriorLight().FaultNames() {
-		verdict := runOnce(sc, fault)
+		verdict := runOnce(plan, sc, fault)
 		total++
 		mark := "NOT detected"
 		if verdict != "PASS" {
@@ -73,30 +74,33 @@ func main() {
 	fmt.Println("(the survivor shows a real coverage gap: the table never opens a rear door at night)")
 }
 
-// runOnce executes the script on the paper's stand against a fresh DUT,
-// optionally with an injected fault, and returns PASS/FAIL.
-func runOnce(sc *script.Script, fault string) string {
+// runOnce executes the plan's script on the paper's stand, optionally
+// with an injected fault, and returns PASS/FAIL. The compiled artifact
+// is shared across every call; only the fault list differs per unit —
+// the same shape the mutation engine uses for its fault mutants.
+func runOnce(plan *comptest.Plan, sc *script.Script, fault string) string {
+	collector := &comptest.Collector{}
 	r, err := comptest.NewRunner(
 		comptest.WithStand("paper_stand"),
-		comptest.WithDUTFactory(func() ecu.ECU {
-			dut := ecu.NewInteriorLight()
-			if fault != "" {
-				if err := dut.InjectFault(fault); err != nil {
-					log.Fatal(err)
-				}
-			}
-			return dut
-		}),
+		comptest.WithDUT("interior_light"),
+		comptest.WithSink(collector),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := r.RunScript(context.Background(), sc)
-	if err != nil {
+	u := comptest.Unit{Script: sc, Compiled: plan.Compiled(sc)}
+	if fault != "" {
+		u.Faults = []string{fault}
+	}
+	if _, err := r.Campaign(context.Background(), []comptest.Unit{u}); err != nil {
 		log.Fatal(err)
 	}
-	if rep.Passed() {
+	res := collector.Results()[0]
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	if res.Report.Passed() {
 		return "PASS"
 	}
-	return fmt.Sprintf("FAIL at steps %v", rep.FailedSteps())
+	return fmt.Sprintf("FAIL at steps %v", res.Report.FailedSteps())
 }

@@ -115,11 +115,13 @@ func archive(base *knowledge.Base, workbook, component, origin string,
 	if err != nil {
 		log.Fatal(err)
 	}
-	scripts, err := suite.GenerateScripts()
+	// Compile rather than merely generate: only scripts that validate
+	// against the method registry enter the knowledge base.
+	plan, err := comptest.Compile(suite)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, sc := range scripts {
+	for _, sc := range plan.Scripts {
 		if err := base.Add(&knowledge.Entry{
 			Component: component, Name: sc.Name, Origin: origin,
 			Tags: tags[sc.Name], BugRefs: bugs[sc.Name], Script: sc,

@@ -42,9 +42,11 @@ var projects = []struct {
 var standNames = []string{"full_lab", "mini_bench", "hil_rack"}
 
 func main() {
-	// Generate every script once; they are the shared knowledge base.
+	// Compile every workbook once; the plans are the shared knowledge
+	// base, each script validated and classified a single time no matter
+	// how many stands execute it below.
 	var allScripts []*script.Script
-	scriptsByDUT := map[string][]*script.Script{}
+	planByDUT := map[string]*comptest.Plan{}
 	var harness stand.Harness
 	for _, p := range projects {
 		wb, err := comptest.BuiltinWorkbook(p.dut)
@@ -55,13 +57,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		scripts, err := suite.GenerateScripts()
+		plan, err := comptest.Compile(suite)
 		if err != nil {
 			log.Fatal(err)
 		}
-		scriptsByDUT[p.dut] = scripts
-		allScripts = append(allScripts, scripts...)
-		for _, sc := range scripts {
+		planByDUT[p.dut] = plan
+		allScripts = append(allScripts, plan.Scripts...)
+		for _, sc := range plan.Scripts {
 			h := stand.HarnessFromScript(sc)
 			harness.Forward = mergePins(harness.Forward, h.Forward)
 			harness.Return = mergePins(harness.Return, h.Return)
@@ -99,11 +101,13 @@ func main() {
 	var units []comptest.Unit
 	for _, name := range standNames {
 		for _, p := range projects {
-			for _, sc := range scriptsByDUT[p.dut] {
+			plan := planByDUT[p.dut]
+			for _, sc := range plan.Scripts {
 				if cell, ok := m.Cell(sc.Name, name); !ok || !cell.Runnable {
 					continue
 				}
-				units = append(units, comptest.Unit{Script: sc, Stand: name, DUT: p.dut})
+				units = append(units, comptest.Unit{Script: sc,
+					Compiled: plan.Compiled(sc), Stand: name, DUT: p.dut})
 			}
 		}
 	}

@@ -2,10 +2,11 @@
 // public comptest API.
 //
 // It loads the paper's interior-illumination workbook (the three sheet
-// types of Section 3), generates the test-stand-independent XML script,
-// builds a Runner for the paper's test stand (Tables 3+4: one DVM, two
-// resistor decades, switch/mux wiring) with a simulated interior-light
-// ECU, runs the script and prints the verdict report.
+// types of Section 3), compiles it into an execution Plan holding the
+// test-stand-independent XML script, builds a Runner for the paper's
+// test stand (Tables 3+4: one DVM, two resistor decades, switch/mux
+// wiring) with a simulated interior-light ECU, runs the plan and prints
+// the verdict report.
 //
 //	go run ./examples/quickstart
 package main
@@ -28,12 +29,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Generate the XML test script — the artefact that travels
-	//    between OEM, supplier and any test stand.
-	sc, err := suite.GenerateScript("InteriorIllumination")
+	// 2. Compile the suite into an execution Plan. Generation yields the
+	//    XML test script — the artefact that travels between OEM,
+	//    supplier and any test stand — and compilation validates and
+	//    classifies it once, so every run below just executes.
+	plan, err := comptest.Compile(suite)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sc := plan.Script("InteriorIllumination")
 	fmt.Printf("generated script %q: %d steps, %.0f s nominal duration\n",
 		sc.Name, len(sc.Steps), sc.Duration())
 
@@ -48,14 +52,16 @@ func main() {
 	}
 
 	// 4. Execute and report. The 309 simulated seconds take milliseconds.
-	rep, err := r.RunScript(context.Background(), sc)
+	reps, err := r.RunPlan(context.Background(), plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := report.WriteText(os.Stdout, rep); err != nil {
-		log.Fatal(err)
-	}
-	if !rep.Passed() {
-		os.Exit(1)
+	for _, rep := range reps {
+		if err := report.WriteText(os.Stdout, rep); err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Passed() {
+			os.Exit(1)
+		}
 	}
 }

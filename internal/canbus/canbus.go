@@ -294,7 +294,20 @@ type Bus struct {
 	sched *event.Scheduler
 	nodes []*Node
 	txCnt uint64
+	// epoch invalidates in-flight deliveries: each delivery event
+	// carries the epoch of its transmission and is dropped when Purge
+	// has been called in between. Frames are copied at transmit time,
+	// so clearing a TxGroup or resetting a DUT cannot retract a frame
+	// already on the wire — only Purge can.
+	epoch uint64
 }
+
+// Purge drops every in-flight frame delivery: frames transmitted before
+// the call never reach any node. A stand reset uses this so a reused
+// bus starts from the same silence as a power-cycled one — without it,
+// a delivery scheduled just before the reset would fire just after it
+// and latch a pre-reset payload into the freshly cleared monitors.
+func (b *Bus) Purge() { b.epoch++ }
 
 // NewBus creates a bus on the given scheduler.
 func NewBus(sched *event.Scheduler) *Bus {
@@ -328,10 +341,39 @@ func (n *Node) Name() string { return n.name }
 // Transmit broadcasts a frame from this node.
 func (n *Node) Transmit(f Frame) {
 	n.bus.txCnt++
+	epoch := n.bus.epoch
 	n.bus.sched.After(Latency, func() {
+		if n.bus.epoch != epoch {
+			return
+		}
 		for _, other := range n.bus.nodes {
 			if other != n && other.rx != nil {
 				other.rx(f)
+			}
+		}
+	})
+}
+
+// transmitAll broadcasts a batch of frames as one bus event: delivery
+// order and timing are identical to transmitting them back to back, but
+// only a single event is scheduled — the periodic keep-alive path uses
+// this to stay cheap on the event queue. The frames are copied at
+// transmit time, exactly like Transmit's by-value parameter.
+func (n *Node) transmitAll(frames []Frame) {
+	if len(frames) == 0 {
+		return
+	}
+	n.bus.txCnt += uint64(len(frames))
+	epoch := n.bus.epoch
+	n.bus.sched.After(Latency, func() {
+		if n.bus.epoch != epoch {
+			return
+		}
+		for i := range frames {
+			for _, other := range n.bus.nodes {
+				if other != n && other.rx != nil {
+					other.rx(frames[i])
+				}
 			}
 		}
 	})
@@ -344,11 +386,18 @@ func (n *Node) Transmit(f Frame) {
 // keeps its frames alive. Signal updates change the payload and trigger
 // an immediate transmission.
 type TxGroup struct {
-	node    *Node
-	db      *DB
-	period  time.Duration
-	frames  map[uint32]*Frame
-	stopper func()
+	node   *Node
+	db     *DB
+	period time.Duration
+	frames map[uint32]*Frame
+	// sorted caches the id-ordered frame pointers; nil after a new id
+	// is added. snap is the reusable payload snapshot handed to the
+	// batched periodic transmission (safe to reuse because the period
+	// exceeds the bus latency, so the previous batch is delivered
+	// before the buffer is rewritten).
+	sorted   []*Frame
+	snap     []Frame
+	periodic *event.Periodic
 }
 
 // NewTxGroup creates a periodic transmitter on the node. A period of 0
@@ -356,16 +405,33 @@ type TxGroup struct {
 func NewTxGroup(node *Node, db *DB, period time.Duration, sched *event.Scheduler) *TxGroup {
 	g := &TxGroup{node: node, db: db, period: period, frames: map[uint32]*Frame{}}
 	if period > 0 {
-		g.stopper = sched.Every(period, func() {
-			for _, f := range g.sortedFrames() {
-				node.Transmit(*f)
-			}
-		})
+		g.periodic = sched.Periodic(period, g.retransmit)
 	}
 	return g
 }
 
+func (g *TxGroup) retransmit() {
+	frames := g.sortedFrames()
+	if len(frames) == 0 {
+		return
+	}
+	if g.period > Latency {
+		g.snap = g.snap[:0]
+		for _, f := range frames {
+			g.snap = append(g.snap, *f)
+		}
+		g.node.transmitAll(g.snap)
+		return
+	}
+	for _, f := range frames {
+		g.node.Transmit(*f)
+	}
+}
+
 func (g *TxGroup) sortedFrames() []*Frame {
+	if g.sorted != nil {
+		return g.sorted
+	}
 	ids := make([]uint32, 0, len(g.frames))
 	for id := range g.frames {
 		ids = append(ids, id)
@@ -375,7 +441,31 @@ func (g *TxGroup) sortedFrames() []*Frame {
 	for i, id := range ids {
 		out[i] = g.frames[id]
 	}
+	g.sorted = out
 	return out
+}
+
+// Suspend parks the periodic retransmission (idle fast-forward support);
+// explicit SetSignal transmissions keep working.
+func (g *TxGroup) Suspend() {
+	if g.periodic != nil {
+		g.periodic.Suspend()
+	}
+}
+
+// Resume re-arms periodic retransmission on its original phase grid.
+func (g *TxGroup) Resume() {
+	if g.periodic != nil {
+		g.periodic.Resume()
+	}
+}
+
+// Clear drops all frame payloads, returning the group to its power-on
+// state. The next retransmission sends nothing until signals are set
+// again.
+func (g *TxGroup) Clear() {
+	g.frames = map[uint32]*Frame{}
+	g.sorted = nil
 }
 
 // SetSignal updates an Intel-packed signal inside the named message and
@@ -394,6 +484,7 @@ func (g *TxGroup) SetSignalOrder(order ByteOrder, message string, start, length 
 	if !ok {
 		f = &Frame{ID: m.ID, DLC: m.DLC}
 		g.frames[m.ID] = f
+		g.sorted = nil
 	}
 	if err := f.InsertSignalOrder(order, start, length, value); err != nil {
 		return err
@@ -404,9 +495,9 @@ func (g *TxGroup) SetSignalOrder(order ByteOrder, message string, start, length 
 
 // Stop cancels periodic retransmission.
 func (g *TxGroup) Stop() {
-	if g.stopper != nil {
-		g.stopper()
-		g.stopper = nil
+	if g.periodic != nil {
+		g.periodic.Stop()
+		g.periodic = nil
 	}
 }
 
@@ -438,6 +529,13 @@ func (m *Monitor) Last(id uint32) (Frame, bool) {
 
 // Count returns how many frames with the id have been received.
 func (m *Monitor) Count(id uint32) uint64 { return m.seen[id] }
+
+// Clear drops all latched frames and counts, returning the monitor to
+// its power-on state (nothing received yet).
+func (m *Monitor) Clear() {
+	clear(m.last)
+	clear(m.seen)
+}
 
 // Signal extracts an Intel-packed signal from the latest frame of the
 // named message.

@@ -122,6 +122,19 @@ func (m *CentralLocking) startPulse(now time.Duration, kind int) {
 	m.pulseUntil = now + length
 }
 
+// QuiescentUntil implements Quiescer. With stable inputs the only
+// self-scheduled transition is the motor pulse ending.
+func (m *CentralLocking) QuiescentUntil(now time.Duration) (time.Duration, bool) {
+	if m.pulseKind != 0 {
+		// A wake in the past (pulse expired, cleanup due on the next
+		// tick) simply means "nothing may be skipped right now".
+		return m.pulseUntil, true
+	}
+	// Lock-state changes need a request edge, a speed crossing or a
+	// crash transition — all input-driven.
+	return Forever, true
+}
+
 // Tick implements ECU.
 func (m *CentralLocking) Tick(now time.Duration, sol *analog.Solution) {
 	crash := m.crashIn.Active(sol) && !m.Fault("crash_ignored")
@@ -175,3 +188,4 @@ func (m *CentralLocking) Tick(now time.Duration, sol *analog.Solution) {
 }
 
 var _ ECU = (*CentralLocking)(nil)
+var _ Quiescer = (*CentralLocking)(nil)

@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analog"
@@ -109,13 +109,15 @@ type Base struct {
 	env       *Env
 	mon       *canbus.Monitor
 	tx        *canbus.TxGroup
+	outs      []*CANOutput
 
-	// faultMu guards the active-fault set: campaigns may inject or
-	// clear faults from a controller goroutine while the simulation
-	// goroutine reads them in Tick.
-	faultMu sync.RWMutex
-	faults  map[string]bool
-	known   []FaultInfo // sorted by name
+	// The active-fault set is a bit mask so Tick-path queries are one
+	// atomic load: campaigns may inject or clear faults from a
+	// controller goroutine while the simulation goroutine reads them
+	// every task cycle.
+	faultMask atomic.Uint64
+	faultBits map[string]uint64
+	known     []FaultInfo // sorted by name
 }
 
 // Name implements ECU.
@@ -144,24 +146,32 @@ func (b *Base) attachBase(env *Env) error {
 
 // registerFaults declares the supported fault injections. It must be
 // called once, from the model constructor, before any concurrent use.
+// At most 64 faults per model (one bit each).
 func (b *Base) registerFaults(infos ...FaultInfo) {
-	b.faults = map[string]bool{}
 	b.known = append([]FaultInfo(nil), infos...)
 	sort.Slice(b.known, func(i, j int) bool { return b.known[i].Name < b.known[j].Name })
+	if len(b.known) > 64 {
+		panic(fmt.Sprintf("ecu %s: more than 64 faults", b.ModelName))
+	}
+	b.faultBits = make(map[string]uint64, len(b.known))
+	for i, k := range b.known {
+		b.faultBits[k.Name] = 1 << uint(i)
+	}
 }
 
 // InjectFault implements ECU. It is safe to call while the model is
 // being ticked by another goroutine.
 func (b *Base) InjectFault(name string) error {
-	for _, k := range b.known {
-		if k.Name == name {
-			b.faultMu.Lock()
-			b.faults[name] = true
-			b.faultMu.Unlock()
+	bit, ok := b.faultBits[name]
+	if !ok {
+		return fmt.Errorf("ecu %s: unknown fault %q (have %v)", b.ModelName, name, b.FaultNames())
+	}
+	for {
+		old := b.faultMask.Load()
+		if b.faultMask.CompareAndSwap(old, old|bit) {
 			return nil
 		}
 	}
-	return fmt.Errorf("ecu %s: unknown fault %q (have %v)", b.ModelName, name, b.FaultNames())
 }
 
 // FaultNames implements ECU.
@@ -182,19 +192,44 @@ func (b *Base) FaultInfos() []FaultInfo {
 
 // Fault reports whether the named fault is active.
 func (b *Base) Fault(name string) bool {
-	b.faultMu.RLock()
-	on := b.faults[name]
-	b.faultMu.RUnlock()
-	return on
+	return b.faultMask.Load()&b.faultBits[name] != 0
 }
 
 // ClearFaults deactivates all injected faults.
 func (b *Base) ClearFaults() {
-	b.faultMu.Lock()
-	for k := range b.faults {
-		delete(b.faults, k)
+	b.faultMask.Store(0)
+}
+
+// ResetComms returns the model's CAN side to its power-on state: the
+// receive monitor forgets latched frames and the transmit group's
+// payloads are dropped, so status signals are re-announced on the next
+// Set. The stand calls this when a pooled stand is reused for a new run,
+// so a recycled DUT is indistinguishable from a freshly attached one.
+func (b *Base) ResetComms() {
+	if b.mon != nil {
+		b.mon.Clear()
 	}
-	b.faultMu.Unlock()
+	if b.tx != nil {
+		b.tx.Clear()
+	}
+	for _, o := range b.outs {
+		o.sent = false
+	}
+}
+
+// SuspendPeriodic parks the model's periodic CAN keep-alive; part of the
+// stand's idle fast-forward protocol.
+func (b *Base) SuspendPeriodic() {
+	if b.tx != nil {
+		b.tx.Suspend()
+	}
+}
+
+// ResumePeriodic re-arms the keep-alive on its original phase grid.
+func (b *Base) ResumePeriodic() {
+	if b.tx != nil {
+		b.tx.Resume()
+	}
 }
 
 // ----------------------------------------------------------- pin helpers --
@@ -270,23 +305,31 @@ type CANIn struct {
 	start   int
 	length  int
 	def     uint64
+	msgDef  *canbus.MessageDef // resolved once at declaration
 }
 
 // CANInput declares a received CAN signal with a default used until the
 // first frame arrives.
 func (b *Base) CANInput(message string, start, length int, def uint64) *CANIn {
+	c := &CANIn{base: b, message: message, start: start, length: length, def: def}
 	if b.env != nil && b.env.DB != nil {
-		_, _ = b.env.DB.Ensure(message)
+		c.msgDef, _ = b.env.DB.Ensure(message)
 	}
-	return &CANIn{base: b, message: message, start: start, length: length, def: def}
+	return c
 }
 
-// Value returns the latched signal value.
+// Value returns the latched signal value. The message was resolved at
+// declaration time, so the task-rate path is a map read plus bit
+// extraction — no name normalisation.
 func (c *CANIn) Value() uint64 {
-	if c.base.mon == nil || c.base.env == nil || c.base.env.DB == nil {
+	if c.base.mon == nil || c.msgDef == nil {
 		return c.def
 	}
-	v, err := c.base.mon.Signal(c.base.env.DB, c.message, c.start, c.length)
+	f, ok := c.base.mon.Last(c.msgDef.ID)
+	if !ok {
+		return c.def
+	}
+	v, err := f.ExtractSignal(c.start, c.length)
 	if err != nil {
 		return c.def
 	}
@@ -309,7 +352,9 @@ func (b *Base) CANOut(message string, start, length int) *CANOutput {
 	if b.env != nil && b.env.DB != nil {
 		_, _ = b.env.DB.Ensure(message)
 	}
-	return &CANOutput{base: b, message: message, start: start, length: length}
+	c := &CANOutput{base: b, message: message, start: start, length: length}
+	b.outs = append(b.outs, c)
+	return c
 }
 
 // Set updates the signal; unchanged values are not retransmitted (the
@@ -333,14 +378,14 @@ func openCircuit() float64 { return math.Inf(1) }
 // network before every tick. It is what the stand uses internally; tests
 // can use it directly.
 type Ticker struct {
-	stop func()
-	err  error
+	periodic *event.Periodic
+	err      error
 }
 
 // StartTicker begins periodic Tick calls for the model.
 func StartTicker(e ECU, env *Env) *Ticker {
 	t := &Ticker{}
-	t.stop = env.Sched.Every(TaskPeriod, func() {
+	t.periodic = env.Sched.Periodic(TaskPeriod, func() {
 		sol, err := env.Net.Solve()
 		if err != nil {
 			t.err = err
@@ -355,4 +400,30 @@ func StartTicker(e ECU, env *Env) *Ticker {
 func (t *Ticker) Err() error { return t.err }
 
 // Stop ends the periodic ticking.
-func (t *Ticker) Stop() { t.stop() }
+func (t *Ticker) Stop() { t.periodic.Stop() }
+
+// Suspend parks the ticker during an idle fast-forward window.
+func (t *Ticker) Suspend() { t.periodic.Suspend() }
+
+// Resume re-arms the ticker on its original task grid.
+func (t *Ticker) Resume() { t.periodic.Resume() }
+
+// --------------------------------------------------------- idle skipping --
+
+// Forever is the QuiescentUntil sentinel for "no self-scheduled change".
+const Forever = time.Duration(math.MaxInt64)
+
+// Quiescer is implemented by models that can bound their self-scheduled
+// behaviour. The stand uses it to fast-forward idle simulated time: when
+// a model promises quiescence, every task tick inside the window is a
+// provable no-op (unchanged outputs, equivalent internal evolution), so
+// the scheduler may jump over the window instead of grinding through it.
+type Quiescer interface {
+	// QuiescentUntil returns the earliest future simulated time at
+	// which the model's Tick may change its outputs or alter its
+	// observable evolution, assuming all inputs (pin levels, received
+	// CAN payloads) stay unchanged. Forever promises indefinite
+	// stability. ok=false means the model cannot promise anything
+	// (e.g. a modulated output is running) and no time may be skipped.
+	QuiescentUntil(now time.Duration) (wake time.Duration, ok bool)
+}

@@ -34,8 +34,9 @@ type ExteriorLight struct {
 	nightIn *CANIn
 	fogIn   *CANIn
 
-	prevIgn  bool
-	fmhUntil time.Duration
+	prevIgn   bool
+	fmhUntil  time.Duration
+	modulated bool // DRL PWM ran on the last tick
 }
 
 // ExteriorLightPins is the connector pinout.
@@ -103,11 +104,26 @@ func (m *ExteriorLight) Attach(env *Env) error {
 func (m *ExteriorLight) Reset() {
 	m.prevIgn = false
 	m.fmhUntil = 0
+	m.modulated = false
 	if m.lb != nil {
 		m.lb.Set(false)
 		m.drl.Set(false)
 		m.fogRel.SetOhms(math.Inf(1))
 	}
+}
+
+// QuiescentUntil implements Quiescer. A running DRL modulation changes
+// the output every half period, so nothing may be skipped then; a
+// follow-me-home window ends at a predictable time; everything else
+// needs a CAN input change.
+func (m *ExteriorLight) QuiescentUntil(now time.Duration) (time.Duration, bool) {
+	if m.modulated {
+		return 0, false
+	}
+	if now < m.fmhUntil {
+		return m.fmhUntil, true
+	}
+	return Forever, true
 }
 
 // Tick implements ECU.
@@ -134,6 +150,7 @@ func (m *ExteriorLight) Tick(now time.Duration, sol *analog.Solution) {
 	if m.Fault("drl_at_night") {
 		drlActive = ign && !lbOn
 	}
+	m.modulated = drlActive
 	if drlActive {
 		period := DRLPeriod
 		if m.Fault("drl_slow_pwm") {
@@ -155,3 +172,4 @@ func (m *ExteriorLight) Tick(now time.Duration, sol *analog.Solution) {
 }
 
 var _ ECU = (*ExteriorLight)(nil)
+var _ Quiescer = (*ExteriorLight)(nil)

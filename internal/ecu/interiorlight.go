@@ -119,6 +119,24 @@ func (m *InteriorLight) DoorOpen(sol *analog.Solution, i int) bool {
 // LampOn reports the commanded lamp state (for white-box tests).
 func (m *InteriorLight) LampOn() bool { return m.lampOn }
 
+// QuiescentUntil implements Quiescer. With stable inputs the only
+// self-scheduled transition is the R3 timeout switching the lamp off.
+func (m *InteriorLight) QuiescentUntil(now time.Duration) (time.Duration, bool) {
+	if !m.lampOn {
+		// Off stays off: every term of the on-condition is input-driven
+		// and withinTime only ever shrinks.
+		return Forever, true
+	}
+	if m.Fault("no_timeout") {
+		return Forever, true
+	}
+	timeout := Timeout
+	if m.Fault("timeout_200s") {
+		timeout = 200 * time.Second
+	}
+	return m.openSince + timeout, true
+}
+
 // Tick implements ECU.
 func (m *InteriorLight) Tick(now time.Duration, sol *analog.Solution) {
 	anyOpen := false
@@ -164,3 +182,4 @@ func (m *InteriorLight) Tick(now time.Duration, sol *analog.Solution) {
 }
 
 var _ ECU = (*InteriorLight)(nil)
+var _ Quiescer = (*InteriorLight)(nil)

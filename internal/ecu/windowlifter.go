@@ -31,7 +31,7 @@ type WindowLifter struct {
 	moving     int // 0 none, +1 up, -1 down
 	motorOnAcc time.Duration
 	inhibitTil time.Duration
-	lastTick   time.Duration
+	lastTick   time.Duration // -1 until the first tick after a reset
 }
 
 // WindowLifterPins is the connector pinout.
@@ -93,16 +93,48 @@ func (m *WindowLifter) Reset() {
 	m.moving = 0
 	m.motorOnAcc = 0
 	m.inhibitTil = 0
-	m.lastTick = 0
+	m.lastTick = -1
 	if m.motUp != nil {
 		m.motUp.Set(false)
 		m.motDown.Set(false)
 	}
 }
 
+// QuiescentUntil implements Quiescer. While a motor runs, the travel
+// limit and the thermal budget are the self-scheduled transitions; with
+// the motors off, every change needs a switch edge. The stuck_up fault
+// keeps the thermal accounting churning against a forced-on output, so
+// no promise is made there.
+func (m *WindowLifter) QuiescentUntil(now time.Duration) (time.Duration, bool) {
+	if m.Fault("stuck_up") {
+		return 0, false
+	}
+	if !m.motUp.On() && !m.motDown.On() {
+		// Off stays off: re-engaging needs a switch edge, and a thermal
+		// inhibit always outlasts the travel-limit window it froze.
+		return Forever, true
+	}
+	limit := TravelLimit
+	if m.Fault("travel_8s") {
+		limit = 8 * time.Second
+	}
+	wake := m.moveStart + limit
+	if !m.Fault("no_thermal") {
+		// Accumulation is linear in elapsed time while a motor runs, so
+		// the budget crossing is exactly predictable.
+		if thermal := now + (ThermalBudget - m.motorOnAcc); thermal < wake {
+			wake = thermal
+		}
+	}
+	return wake, true
+}
+
 // Tick implements ECU.
 func (m *WindowLifter) Tick(now time.Duration, sol *analog.Solution) {
 	dt := now - m.lastTick
+	if m.lastTick < 0 {
+		dt = TaskPeriod
+	}
 	m.lastTick = now
 
 	up := m.swUp.Active(sol)
@@ -157,3 +189,4 @@ func (m *WindowLifter) Tick(now time.Duration, sol *analog.Solution) {
 }
 
 var _ ECU = (*WindowLifter)(nil)
+var _ Quiescer = (*WindowLifter)(nil)

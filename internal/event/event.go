@@ -72,26 +72,116 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 // Every schedules fn every period, first firing after one period. The
 // returned stop function cancels the series. A non-positive period panics.
 func (s *Scheduler) Every(period time.Duration, fn func()) (stop func()) {
+	p := s.Periodic(period, fn)
+	return p.Stop
+}
+
+// Periodic schedules fn every period like Every, but returns a handle
+// that can additionally suspend and resume the series. Suspension is the
+// mechanism behind idle fast-forward: the stand parks its periodic
+// drivers (task ticker, CAN retransmission), jumps the clock over a
+// quiescent window in O(1), and resumes them on their original phase
+// grid, so the tick times after the jump are exactly the tick times an
+// uninterrupted run would have produced.
+func (s *Scheduler) Periodic(period time.Duration, fn func()) *Periodic {
 	if period <= 0 {
 		panic("event: non-positive period")
 	}
-	stopped := false
-	var cur *Event
-	var tick func()
-	tick = func() {
-		if stopped {
+	p := &Periodic{s: s, period: period, fn: fn}
+	p.ev.index = -1
+	p.run = func() {
+		if p.stopped || p.susp {
 			return
 		}
-		fn()
-		if !stopped { // fn may call stop
-			cur = s.After(period, tick)
+		p.fn()
+		if p.stopped || p.susp { // fn may stop or suspend the series
+			return
 		}
+		p.next += p.period
+		p.arm()
 	}
-	cur = s.After(period, tick)
-	return func() {
-		stopped = true
-		cur.Cancel()
+	p.next = s.now + period
+	p.arm()
+	return p
+}
+
+// Periodic is a self-rescheduling periodic event series.
+type Periodic struct {
+	s       *Scheduler
+	period  time.Duration
+	fn      func()
+	run     func() // the rescheduling wrapper, allocated once
+	cur     *Event
+	ev      Event         // reusable event, re-pushed whenever it is off the heap
+	next    time.Duration // absolute time of the next occurrence
+	stopped bool
+	susp    bool
+}
+
+// arm schedules the next occurrence. The embedded event is reused
+// whenever it is not queued (index -1, i.e. it has fired or was never
+// used); after a Suspend it may still sit cancelled in the queue, in
+// which case a fresh event is allocated and the old one drains lazily.
+func (p *Periodic) arm() {
+	if p.ev.index == -1 {
+		if p.next < p.s.now {
+			panic(fmt.Sprintf("event: scheduling at %v before now %v", p.next, p.s.now))
+		}
+		p.ev = Event{at: p.next, seq: p.s.seq, fn: p.run, index: -1}
+		p.s.seq++
+		heap.Push(&p.s.q, &p.ev)
+		p.cur = &p.ev
+		return
 	}
+	p.cur = p.s.At(p.next, p.run)
+}
+
+// Period returns the series period.
+func (p *Periodic) Period() time.Duration { return p.period }
+
+// Stop cancels the series permanently.
+func (p *Periodic) Stop() {
+	p.stopped = true
+	p.cur.Cancel()
+}
+
+// Suspend parks the series: no occurrences fire until Resume. Suspending
+// an already-suspended or stopped series is a no-op.
+func (p *Periodic) Suspend() {
+	if p.stopped || p.susp {
+		return
+	}
+	p.susp = true
+	p.cur.Cancel()
+}
+
+// Resume re-arms a suspended series on its original phase grid: the next
+// occurrence fires at the first grid point strictly after Now, where the
+// grid is the sequence of times the uninterrupted series would have
+// fired at. Occurrences that fell inside the suspended window are
+// dropped, not replayed.
+func (p *Periodic) Resume() {
+	if p.stopped || !p.susp {
+		return
+	}
+	p.susp = false
+	if p.next <= p.s.now {
+		missed := (p.s.now-p.next)/p.period + 1
+		p.next += missed * p.period
+	}
+	p.arm()
+}
+
+// NextAt returns the time of the earliest pending event, if any.
+// Cancelled events at the head of the queue are discarded on the way.
+func (s *Scheduler) NextAt() (time.Duration, bool) {
+	for len(s.q) > 0 && s.q[0].cancel {
+		heap.Pop(&s.q)
+	}
+	if len(s.q) == 0 {
+		return 0, false
+	}
+	return s.q[0].at, true
 }
 
 // Step fires the next pending event (advancing the clock to its time) and

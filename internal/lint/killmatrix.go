@@ -16,6 +16,7 @@ import (
 // fault-detection power.
 type KillMatrix struct {
 	killedSignals map[string]bool
+	scriptKills   map[string]int
 	mutants       int
 	killed        int
 }
@@ -25,7 +26,7 @@ type KillMatrix struct {
 // witnesses have the fixed shape "<script> step <n>: <signal> <method>
 // expected <x>, measured <y>" produced by the mutation runner.
 func KillMatrixFromStrength(s *report.Strength) *KillMatrix {
-	k := &KillMatrix{killedSignals: map[string]bool{}}
+	k := &KillMatrix{killedSignals: map[string]bool{}, scriptKills: map[string]int{}}
 	for _, d := range s.DUTs {
 		for _, m := range d.Mutants {
 			k.mutants++
@@ -35,6 +36,9 @@ func KillMatrixFromStrength(s *report.Strength) *KillMatrix {
 			k.killed++
 			if sig := witnessSignal(m.Witness); sig != "" {
 				k.killedSignals[strings.ToLower(sig)] = true
+			}
+			if sc := witnessScript(m.Witness); sc != "" {
+				k.scriptKills[strings.ToLower(sc)]++
 			}
 		}
 	}
@@ -63,6 +67,24 @@ func (k *KillMatrix) KilledSignal(name string) bool {
 // Summary renders "N/M mutants killed" for finding messages.
 func (k *KillMatrix) Summary() string {
 	return fmt.Sprintf("%d/%d mutants killed", k.killed, k.mutants)
+}
+
+// ScriptKills returns how many killed mutants were witnessed by the
+// named script — the demonstrated fault-detection power the mutation
+// runner uses to order each mutant's scripts most-lethal-first, so
+// early kill terminates most mutants on their first run.
+func (k *KillMatrix) ScriptKills(name string) int {
+	return k.scriptKills[strings.ToLower(strings.TrimSpace(name))]
+}
+
+// witnessScript extracts the script name from a kill witness string
+// ("<script> step <n>: …"), or "" for other shapes (fatal aborts).
+func witnessScript(w string) string {
+	i := strings.Index(w, " step ")
+	if i <= 0 {
+		return ""
+	}
+	return w[:i]
 }
 
 // witnessSignal extracts the signal name from a kill witness string, or

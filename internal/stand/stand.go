@@ -84,6 +84,21 @@ type Stand struct {
 	// held maps lower signal name → persistent stimulus state.
 	held map[string]*heldStimulus
 
+	// Binding caches: attribute evaluation and expectation rendering are
+	// pure functions of the stand environment (ubatt never changes after
+	// New), so their results are memoised across steps, runs and scripts.
+	attrVals map[string]float64
+	attrErrs map[string]error
+	expect   map[*script.SignalStmt]string
+
+	// routes memoises the per-step allocation + instrument routing (see
+	// routedStep), keyed by *script.Step (or *script.Script for init).
+	routes map[any]*routedStep
+
+	// ff enables the quiescence fast-forward (see advanceTo); tests
+	// disable it to compare against ground-truth tick-by-tick execution.
+	ff bool
+
 	// stats for benchmarking/EXPERIMENTS.
 	Allocations uint64
 	Solves      uint64
@@ -185,6 +200,11 @@ func New(cfg Config, reg *method.Registry) (*Stand, error) {
 		instruments: map[string]*instrument{},
 		switches:    map[string]*analog.Switch{},
 		held:        map[string]*heldStimulus{},
+		attrVals:    map[string]float64{},
+		attrErrs:    map[string]error{},
+		expect:      map[*script.SignalStmt]string{},
+		routes:      map[any]*routedStep{},
+		ff:          true,
 	}
 	s.bus = canbus.NewBus(s.sched)
 	s.monitor = canbus.NewMonitor()
@@ -306,7 +326,8 @@ func (s *Stand) Run(sc *script.Script) *report.Report {
 // a step is the atomic unit of execution, exactly as on real hardware
 // where an operator abort takes effect at the next step boundary.
 func (s *Stand) RunContext(ctx context.Context, sc *script.Script) *report.Report {
-	rep := &report.Report{Script: sc.Name, Stand: s.cfg.Name}
+	rep := &report.Report{Script: sc.Name, Stand: s.cfg.Name,
+		Steps: make([]report.StepResult, 0, len(sc.Steps))}
 	if s.dut != nil {
 		rep.DUT = s.dut.Name()
 	}
@@ -327,12 +348,12 @@ func (s *Stand) RunContext(ctx context.Context, sc *script.Script) *report.Repor
 
 	// Init block: apply all initial stimuli at once, then settle.
 	if len(sc.Init) > 0 {
-		if _, err := s.applyStep(sc, sc.Init, nil, nil); err != nil {
+		if _, err := s.applyStep(sc, sc.Init, nil, nil, sc); err != nil {
 			rep.FatalErr = fmt.Sprintf("init: %v", err)
 			return rep
 		}
 	}
-	s.sched.Advance(s.cfg.SettleTime)
+	s.advanceTo(s.sched.Now()+s.cfg.SettleTime, true)
 	if s.obs != nil {
 		s.obs.OutputsSampled(s.sched.Now(), -1, s.observeOutputs(sc))
 	}
@@ -353,7 +374,8 @@ func (s *Stand) RunContext(ctx context.Context, sc *script.Script) *report.Repor
 // verdicts.
 func (s *Stand) skipRemaining(rep *report.Report, steps []*script.Step, cause error) {
 	for _, step := range steps {
-		res := report.StepResult{Nr: step.Nr, Dt: step.Dt, Remark: step.Remark}
+		res := report.StepResult{Nr: step.Nr, Dt: step.Dt, Remark: step.Remark,
+			Checks: make([]report.Check, 0, len(step.Signals))}
 		for _, st := range step.Signals {
 			res.Checks = append(res.Checks, report.Check{
 				Signal: st.Name, Method: st.Call.Method,
@@ -388,15 +410,25 @@ func (s *Stand) resetRun() {
 		}
 	}
 	s.held = map[string]*heldStimulus{}
+	// Reset the DUT BEFORE silencing the bus: a model's Reset may
+	// announce state changes (a locked DUT resetting to unlocked
+	// transmits the new status), and those frames belong to the old
+	// run. Clearing the groups and purging in-flight deliveries last
+	// wipes every such side effect, so a reused stand starts from the
+	// same silence as a freshly built one.
 	if s.dut != nil {
 		s.dut.Reset()
+		if rc, ok := s.dut.(interface{ ResetComms() }); ok {
+			rc.ResetComms()
+		}
 	}
+	s.monitor.Clear()
+	s.tx.Clear()
+	s.bus.Purge()
 }
 
 // runStep executes one step: apply stimuli, advance dt, measure.
 func (s *Stand) runStep(sc *script.Script, step *script.Step) report.StepResult {
-	res := report.StepResult{Nr: step.Nr, Dt: step.Dt, Remark: step.Remark}
-
 	var stimuli, measures []*script.SignalStmt
 	extraWait := 0.0
 	for _, st := range step.Signals {
@@ -414,8 +446,20 @@ func (s *Stand) runStep(sc *script.Script, step *script.Step) report.StepResult 
 			}
 		}
 	}
+	return s.runStepPrepared(sc, step, stimuli, measures, extraWait)
+}
 
-	plan, allocErr := s.applyStep(sc, stimuli, measures, &res)
+// runStepPrepared is runStep with the statement classification already
+// done — the shared execution core of the interpreted path (which
+// classifies on the fly) and the compiled path (which classified once at
+// script.Compile time). Keeping one core is what makes the two paths
+// byte-identical by construction.
+func (s *Stand) runStepPrepared(sc *script.Script, step *script.Step,
+	stimuli, measures []*script.SignalStmt, extraWait float64) report.StepResult {
+	res := report.StepResult{Nr: step.Nr, Dt: step.Dt, Remark: step.Remark,
+		Checks: make([]report.Check, 0, len(step.Signals))}
+
+	plan, allocErr := s.applyStep(sc, stimuli, measures, &res, step)
 
 	// Timing measurements sample during the step.
 	var samplers map[*script.SignalStmt]*sampler
@@ -425,7 +469,7 @@ func (s *Stand) runStep(sc *script.Script, step *script.Step) report.StepResult 
 
 	stopTrace := s.startTrace(sc, step)
 	dt := step.Dt + extraWait
-	s.sched.Advance(time.Duration(dt * float64(time.Second)))
+	s.advanceTo(s.sched.Now()+time.Duration(dt*float64(time.Second)), len(samplers) == 0)
 	stopTrace()
 
 	for _, sam := range samplers {
@@ -454,12 +498,74 @@ func (s *Stand) runStep(sc *script.Script, step *script.Step) report.StepResult 
 	return res
 }
 
+// routedStep is the memoised outcome of one successful applyStep: the
+// allocation plan plus everything needed to re-program the instruments
+// without consulting the allocator again. Valid because a run always
+// starts from resetRun and executes its steps in order, so the held
+// state — and with it the allocator's input — at any given step is
+// identical on every run of the same script on the same stand.
+type routedStep struct {
+	plan  *alloc.Plan
+	want  map[string]bool // switch closures
+	inUse map[string]bool // lower resource ids in use (PWM keep-alive)
+	asg   []routedAsg
+}
+
+type routedAsg struct {
+	a        *alloc.Assignment
+	st       *script.SignalStmt
+	decl     *script.SignalDecl
+	key      string // lower signal name
+	stimulus bool
+	applied  string // cached report Applied line, "" = none
+}
+
+// replayStep re-executes a cached routing: switches, instrument
+// programming and held-state updates, identical to the uncached path.
+func (s *Stand) replayStep(rs *routedStep, res *report.StepResult) (*alloc.Plan, error) {
+	for name, sw := range s.switches {
+		sw.SetClosed(rs.want[name])
+	}
+	for id, inst := range s.instruments {
+		if inst.pwm != nil && inst.pwm.running && !rs.inUse[id] {
+			inst.pwm.Stop()
+		}
+	}
+	for i := range rs.asg {
+		ra := &rs.asg[i]
+		via, err := s.programState(ra.a, ra.st, ra.decl)
+		if err != nil {
+			return nil, err
+		}
+		if via != "" && res != nil {
+			if ra.applied == "" {
+				ra.applied = appliedLine(ra.st, via)
+			}
+			res.Applied = append(res.Applied, ra.applied)
+		}
+		if ra.stimulus {
+			s.held[ra.key] = &heldStimulus{stmt: ra.st, decl: ra.decl, res: resID(ra.a.Resource)}
+		}
+	}
+	return rs.plan, nil
+}
+
 // applyStep allocates the step's complete demand — the held persistent
 // stimuli, the step's new stimuli and the step's measurements — and
 // programs the instruments. Preferences keep unchanged signals on their
 // previous resources. Measurement assignments are transient; stimulus
 // assignments update the held state.
-func (s *Stand) applyStep(sc *script.Script, stimuli, measures []*script.SignalStmt, res *report.StepResult) (*alloc.Plan, error) {
+//
+// ckey, when non-nil, identifies the step (its *script.Step, or the
+// *script.Script for the init block) for the routed-step cache: the
+// first execution allocates and memoises, repeats replay. Failed
+// applications are never cached.
+func (s *Stand) applyStep(sc *script.Script, stimuli, measures []*script.SignalStmt, res *report.StepResult, ckey any) (*alloc.Plan, error) {
+	if ckey != nil {
+		if rs, ok := s.routes[ckey]; ok {
+			return s.replayStep(rs, res)
+		}
+	}
 	// Merge: new stimuli override held ones per signal.
 	merged := map[string]*script.SignalStmt{}
 	order := []string{}
@@ -537,18 +643,36 @@ func (s *Stand) applyStep(sc *script.Script, stimuli, measures []*script.SignalS
 	}
 
 	// Program the instruments; stimuli update the held state.
+	rs := &routedStep{plan: plan, want: want, inUse: inUse,
+		asg: make([]routedAsg, 0, len(plan.Assignments))}
 	for i := range plan.Assignments {
 		a := &plan.Assignments[i]
 		key := strings.ToLower(a.Request.Signal)
 		st := merged[key]
-		if err := s.program(a, st, sc.Decl(st.Name), res); err != nil {
+		decl := sc.Decl(st.Name)
+		via, err := s.programState(a, st, decl)
+		if err != nil {
 			return nil, err
 		}
-		if stimulusKeys[key] {
-			s.held[key] = &heldStimulus{
-				stmt: st, decl: sc.Decl(st.Name), res: resID(a.Resource),
+		ra := routedAsg{a: a, st: st, decl: decl, key: key, stimulus: stimulusKeys[key]}
+		if via != "" {
+			ra.applied = appliedLine(st, via)
+			if res != nil {
+				res.Applied = append(res.Applied, ra.applied)
 			}
 		}
+		if ra.stimulus {
+			s.held[key] = &heldStimulus{stmt: st, decl: decl, res: resID(a.Resource)}
+		}
+		rs.asg = append(rs.asg, ra)
+	}
+	if ckey != nil {
+		// Pointer-keyed, so a stand fed generated scripts forever
+		// (explore) would grow the cache without bound — flush instead.
+		if len(s.routes) >= 1<<12 {
+			clear(s.routes)
+		}
+		s.routes[ckey] = rs
 	}
 	return plan, nil
 }
@@ -560,69 +684,67 @@ func resID(r *resource.Resource) string {
 	return r.ID
 }
 
-// program sets one instrument according to an assignment.
-func (s *Stand) program(a *alloc.Assignment, st *script.SignalStmt, decl *script.SignalDecl, res *report.StepResult) error {
-	logApply := func(via string) {
-		if res != nil {
-			res.Applied = append(res.Applied, fmt.Sprintf("%s %s(%s) via %s",
-				st.Name, st.Call.Method, attrString(st.Call.Attrs), via))
-		}
-	}
+// programState sets one instrument according to an assignment. It
+// returns the "via" label the report's Applied line should carry, or ""
+// when the assignment produces no line (measurements, silent releases).
+// The rendering itself lives in appliedLine so the routed-step replay
+// can reuse a cached line instead of re-formatting it.
+func (s *Stand) programState(a *alloc.Assignment, st *script.SignalStmt, decl *script.SignalDecl) (string, error) {
 	if a.Resource == nil {
 		if a.Disconnect() {
-			logApply("disconnect")
+			return "disconnect", nil
 		}
-		return nil
+		return "", nil
 	}
 	inst := s.instruments[strings.ToLower(a.Resource.ID)]
 	switch a.Resource.Kind {
 	case resource.ResistorDecade:
 		f, err := s.evalAttr(st.Call.Attrs["r"])
 		if err != nil {
-			return err
+			return "", err
 		}
 		inst.decade.SetOhms(f)
 	case resource.PowerSupply:
 		f, err := s.evalAttr(st.Call.Attrs["u"])
 		if err != nil {
-			return err
+			return "", err
 		}
 		inst.source.SetVolts(f)
 		inst.source.SetEnabled(true)
 	case resource.ELoad:
 		f, err := s.evalAttr(st.Call.Attrs["i"])
 		if err != nil {
-			return err
+			return "", err
 		}
 		inst.eload.SetAmps(f)
 		inst.eload.SetEnabled(true)
 	case resource.PWMGenerator:
 		freq, err := s.evalAttr(st.Call.Attrs["f"])
 		if err != nil {
-			return err
+			return "", err
 		}
 		duty, err := s.evalAttr(st.Call.Attrs["duty"])
 		if err != nil {
-			return err
+			return "", err
 		}
 		if err := inst.pwm.Start(s.cfg.UbattVolts, freq, duty); err != nil {
-			return err
+			return "", err
 		}
 	case resource.CANAdapter:
 		if st.Call.Method == "put_can" {
 			if decl == nil {
-				return fmt.Errorf("no declaration for CAN signal %q", st.Name)
+				return "", fmt.Errorf("no declaration for CAN signal %q", st.Name)
 			}
 			v, _, err := unit.ParseBits(st.Call.Attrs["data"])
 			if err != nil {
-				return err
+				return "", err
 			}
 			order, err := canbus.ParseByteOrder(decl.ByteOrder)
 			if err != nil {
-				return err
+				return "", err
 			}
 			if err := s.tx.SetSignalOrder(order, decl.Message, decl.StartBit, decl.Length, v); err != nil {
-				return err
+				return "", err
 			}
 		}
 	case resource.DVM, resource.Counter:
@@ -630,10 +752,15 @@ func (s *Stand) program(a *alloc.Assignment, st *script.SignalStmt, decl *script
 		if inst.loGnd != nil {
 			inst.loGnd.SetClosed(len(a.Entries) < 2)
 		}
-		return nil // nothing to program for measurements
+		return "", nil // nothing to program for measurements
 	}
-	logApply(a.Resource.ID)
-	return nil
+	return a.Resource.ID, nil
+}
+
+// appliedLine renders one report Applied line.
+func appliedLine(st *script.SignalStmt, via string) string {
+	return fmt.Sprintf("%s %s(%s) via %s",
+		st.Name, st.Call.Method, attrString(st.Call.Attrs), via)
 }
 
 // declPins extracts the electrical pins of a declaration.
@@ -666,7 +793,26 @@ func parseClass(c string) (classKind, error) {
 }
 
 // evalAttr evaluates a numeric attribute value (number or expression).
+// The result is memoised per attribute string: the stand environment is
+// fixed for the stand's lifetime, so limit expressions like (1.1*ubatt)
+// — which recur across steps, scripts and runs — parse and evaluate once.
 func (s *Stand) evalAttr(v string) (float64, error) {
+	if f, ok := s.attrVals[v]; ok {
+		return f, nil
+	}
+	if err, ok := s.attrErrs[v]; ok {
+		return 0, err
+	}
+	f, err := s.evalAttrUncached(v)
+	if err != nil {
+		s.attrErrs[v] = err
+	} else {
+		s.attrVals[v] = f
+	}
+	return f, err
+}
+
+func (s *Stand) evalAttrUncached(v string) (float64, error) {
 	if f, err := unit.ParseNumber(v); err == nil {
 		return f, nil
 	}
@@ -677,8 +823,24 @@ func (s *Stand) evalAttr(v string) (float64, error) {
 	return e.Eval(s.env)
 }
 
-// expectation renders the expected value of a statement for reports.
+// expectation renders the expected value of a statement for reports,
+// memoised per statement: scripts are immutable once parsed, so the
+// rendering is a pure function of the statement pointer.
 func (s *Stand) expectation(st *script.SignalStmt) string {
+	if e, ok := s.expect[st]; ok {
+		return e
+	}
+	// The key is a pointer, so a stand fed generated scripts forever
+	// (explore) would grow the cache without bound — flush it instead.
+	if len(s.expect) >= 1<<13 {
+		clear(s.expect)
+	}
+	e := s.expectationUncached(st)
+	s.expect[st] = e
+	return e
+}
+
+func (s *Stand) expectationUncached(st *script.SignalStmt) string {
 	d, ok := s.reg.Lookup(st.Call.Method)
 	if !ok {
 		return attrString(st.Call.Attrs)
