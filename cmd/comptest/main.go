@@ -473,6 +473,7 @@ func cmdRun(args []string, out io.Writer) error {
 	junitPath := fs.String("junit", "", "also write the campaign as one JUnit <testsuites> file")
 	tracePath := fs.String("trace", "", "write the campaign trace to FILE as NDJSON spans (campaign → unit → step, byte-stable across reruns)")
 	coordinator := fs.String("coordinator", "", "submit the campaign to this coordinator/serve URL instead of executing locally")
+	tenant := fs.String("tenant", "", "quota account the job bills to on the remote server (with -coordinator)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -485,7 +486,10 @@ func cmdRun(args []string, out io.Writer) error {
 		if *fault != "" {
 			faults = []string{*fault}
 		}
-		return runRemote(*coordinator, *workbook, *standName, *dutName, faults, *parallel, write, *junitPath, *tracePath, out)
+		return runRemote(*coordinator, *workbook, *standName, *dutName, *tenant, faults, *parallel, write, *junitPath, *tracePath, out)
+	}
+	if *tenant != "" {
+		return fmt.Errorf("run: -tenant only applies with -coordinator (local runs have no quota account)")
 	}
 	suite, _, err := loadWorkbook(*workbook, builtinFor(*dutName))
 	if err != nil {
@@ -603,7 +607,7 @@ func cmdRun(args []string, out io.Writer) error {
 // coordinator instance, streams the merged NDJSON back, renders every
 // report with the chosen format writer and maps the remote verdict to
 // the exit code — `comptest run` semantics, execution elsewhere.
-func runRemote(base, workbook, standName, dutName string, faults []string,
+func runRemote(base, workbook, standName, dutName, tenant string, faults []string,
 	parallel int, write func(io.Writer, *report.Report) error, junitPath, tracePath string, out io.Writer) error {
 	spec := serve.JobSpec{
 		Kind:        serve.KindCampaign,
@@ -612,6 +616,7 @@ func runRemote(base, workbook, standName, dutName string, faults []string,
 		Faults:      faults,
 		Parallelism: parallel,
 		Trace:       tracePath != "",
+		Tenant:      tenant,
 	}
 	if workbook != "" {
 		wb, err := os.ReadFile(workbook)
@@ -637,6 +642,10 @@ func runRemote(base, workbook, standName, dutName string, faults []string,
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if ra := resp.Header.Get("Retry-After"); resp.StatusCode == http.StatusTooManyRequests && ra != "" {
+			return fmt.Errorf("run: %s rejected the job (%d, retry in %ss): %s",
+				base, resp.StatusCode, ra, bytes.TrimSpace(msg))
+		}
 		return fmt.Errorf("run: %s rejected the job (%d): %s", base, resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	var st serve.JobStatus
@@ -965,8 +974,15 @@ func cmdServe(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 1, "default per-job worker-pool bound")
 	remote := fs.Bool("workers-remote", false, "coordinate remote workers: shard jobs across nodes joined via 'comptest worker -join'")
 	shardUnits := fs.Int("shard-units", 4, "max campaign units per shard (with -workers-remote)")
+	stateDir := fs.String("state-dir", "", "durable coordination: journal every job to DIR/journal.ndjson and recover in-flight campaigns on restart (with -workers-remote)")
+	shardTarget := fs.Float64("shard-target", 0, "auto-tune the shard size to carry about this many seconds of work, from observed unit cost; 0 keeps -shard-units fixed (with -workers-remote)")
+	stealLocal := fs.Bool("steal-local", false, "let the coordinator's own executor steal shards that waited -steal-after for a saturated fleet (with -workers-remote)")
+	stealAfter := fs.Duration("steal-after", 2*time.Second, "how long a shard waits for a remote slot before -steal-local claims it (with -workers-remote)")
 	lease := fs.Duration("lease", 15*time.Second, "worker lease: a node silent this long is not scheduled (with -workers-remote)")
 	scrapeTimeout := fs.Duration("scrape-timeout", 2*time.Second, "per-worker /metrics fetch bound during fleet aggregation (with -workers-remote)")
+	quotaActive := fs.Int("quota-active", 0, "per-tenant cap on queued+running jobs; over it submissions get 429 (0 = unlimited)")
+	quotaRate := fs.Float64("quota-rate", 0, "per-tenant sustained submissions per second, token-bucket enforced with 429 + Retry-After (0 = unlimited)")
+	quotaBurst := fs.Int("quota-burst", 0, "token-bucket depth for -quota-rate: back-to-back submissions allowed after idling (default: rate rounded up)")
 	logFormat := fs.String("log-format", "text", "structured event log format on stderr: text|json")
 	sloList := fs.String("slo", "", `SLO objectives for /slo, e.g. "comptest_unit_seconds:p95<=60,comptest_queue_wait_seconds:p95<=30" (default: built-in objectives)`)
 	metricsAddr := fs.String("metrics-addr", "", "also serve /metrics on this address (it is always on -addr; this adds a listener scrapers can reach when -addr is firewalled)")
@@ -988,6 +1004,11 @@ func cmdServe(args []string, out io.Writer) error {
 		DefaultParallelism: *parallel,
 		Logger:             logger,
 		Objectives:         objectives,
+		Quota: serve.QuotaOptions{
+			MaxActive:  *quotaActive,
+			RatePerSec: *quotaRate,
+			Burst:      *quotaBurst,
+		},
 	}
 	var (
 		handler http.Handler
@@ -997,14 +1018,21 @@ func cmdServe(args []string, out io.Writer) error {
 	)
 	if *remote {
 		coord := dist.New(dist.Options{
-			Serve:         serveOpts,
-			ShardUnits:    *shardUnits,
-			LeaseTTL:      *lease,
-			ScrapeTimeout: *scrapeTimeout,
-			Logger:        logger,
+			Serve:              serveOpts,
+			ShardUnits:         *shardUnits,
+			StateDir:           *stateDir,
+			ShardTargetSeconds: *shardTarget,
+			StealLocal:         *stealLocal,
+			StealAfter:         *stealAfter,
+			LeaseTTL:           *lease,
+			ScrapeTimeout:      *scrapeTimeout,
+			Logger:             logger,
 		})
 		handler, metrics, closeFn = coord.Handler(), coord.MetricsHandler(), coord.Close
 		mode = fmt.Sprintf("coordinator, shard-units %d; join workers with 'comptest worker -join URL'", *shardUnits)
+		if *stateDir != "" {
+			mode += fmt.Sprintf("; durable state in %s", *stateDir)
+		}
 	} else {
 		srv := serve.New(serveOpts)
 		handler, metrics, closeFn = srv.Handler(), srv.Metrics().Handler(), srv.Close

@@ -1,0 +1,28 @@
+package api
+
+import "encoding/json"
+
+// Event is the decoded shape of one structured-event NDJSON line from
+// GET /v1/jobs/{id}/events (and, journal-side, of the coordinator's
+// recovery log): a log/slog JSON record carrying the correlation
+// attributes the serve and dist layers attach. Producers add further
+// free-form attributes; decoding is deliberately lenient (unknown
+// fields are ignored) so consumers built against this struct keep
+// working as attributes are added.
+type Event struct {
+	Time  string `json:"time,omitempty"`
+	Level string `json:"level,omitempty"`
+	Msg   string `json:"msg,omitempty"`
+	// Correlation attributes, present where they apply.
+	Job    string `json:"job,omitempty"`
+	Shard  int    `json:"shard,omitempty"`
+	Worker string `json:"worker,omitempty"`
+}
+
+// DecodeEvent parses one event line, tolerating (and dropping) any
+// attributes beyond the Event fields.
+func DecodeEvent(data []byte) (Event, error) {
+	var ev Event
+	err := json.Unmarshal(data, &ev)
+	return ev, err
+}

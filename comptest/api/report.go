@@ -1,0 +1,14 @@
+package api
+
+// ErrorLine is the NDJSON wire shape of a campaign unit that produced
+// no report (unknown stand, stand construction failure, …): the
+// comptest.NDJSON sink emits it, the distributed merge layer rewrites
+// its Seq to the global unit numbering, and stream consumers detect it
+// by failing report.DecodeJSON first. One definition shared by all
+// three so the wire format cannot drift apart silently.
+type ErrorLine struct {
+	Seq    int    `json:"seq"`
+	Script string `json:"script,omitempty"`
+	Stand  string `json:"stand,omitempty"`
+	Error  string `json:"error"`
+}

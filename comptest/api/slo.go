@@ -1,0 +1,79 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Objective is one service-level objective: "the q-quantile of Metric
+// must not exceed Max seconds". Objectives are evaluated against a
+// metrics snapshot's histogram families by bucket interpolation (see
+// internal/obs.EvalSLO) — the same estimate Prometheus's
+// histogram_quantile computes — so a fleet snapshot (merged worker
+// cells) answers for the whole deployment.
+type Objective struct {
+	Metric   string  `json:"metric"`
+	Quantile float64 `json:"quantile"`    // in (0, 1], e.g. 0.95
+	Max      float64 `json:"max_seconds"` // upper bound on the estimate
+}
+
+// String renders the objective in the spec syntax obs.ParseObjective
+// reads.
+func (o Objective) String() string {
+	return fmt.Sprintf("%s:p%s<=%s", o.Metric,
+		formatFloat(o.Quantile*100), formatFloat(o.Max))
+}
+
+// SLOResult is one objective's verdict against a snapshot.
+type SLOResult struct {
+	Objective
+	// Estimate is the interpolated quantile in seconds; 0 with NoData
+	// set when the family has no samples (or is absent entirely).
+	Estimate float64 `json:"estimate_seconds"`
+	Count    int64   `json:"count"`
+	NoData   bool    `json:"no_data,omitempty"`
+	Pass     bool    `json:"pass"`
+}
+
+// SLOReport is the full evaluation: every objective's result and the
+// conjunction verdict. GET /slo returns exactly this shape.
+type SLOReport struct {
+	Results []SLOResult `json:"results"`
+	Pass    bool        `json:"pass"`
+}
+
+// WriteText renders the report human-readably, one line per objective
+// and a closing verdict line.
+func (r SLOReport) WriteText(w io.Writer) error {
+	for _, res := range r.Results {
+		verdict := "pass"
+		if !res.Pass {
+			verdict = "FAIL"
+		}
+		var err error
+		if res.NoData {
+			_, err = fmt.Fprintf(w, "%s p%s: no data (objective <= %ss): %s\n",
+				res.Metric, formatFloat(res.Quantile*100), formatFloat(res.Max), verdict)
+		} else {
+			_, err = fmt.Fprintf(w, "%s p%s = %ss (%d samples, objective <= %ss): %s\n",
+				res.Metric, formatFloat(res.Quantile*100), formatFloat(res.Estimate),
+				res.Count, formatFloat(res.Max), verdict)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	verdict := "pass"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	_, err := fmt.Fprintf(w, "SLO: %s\n", verdict)
+	return err
+}
+
+// formatFloat renders a float the shortest way that round-trips —
+// "0.5", not "0.500000" (mirrors internal/obs exposition formatting).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

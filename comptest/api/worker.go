@@ -1,0 +1,44 @@
+package api
+
+// RegisterRequest is the body a worker POSTs to /v1/workers: the
+// coordinator↔worker handshake. URL is where the coordinator reaches
+// the worker's job API; Version/Protocol identify the build (see
+// internal/version) — a protocol mismatch is rejected outright, so an
+// incompatible worker fails at registration instead of corrupting a
+// merge mid-campaign. The capability lists bound what the coordinator
+// will schedule onto the worker; an empty list advertises support for
+// everything.
+type RegisterRequest struct {
+	Name     string   `json:"name,omitempty"`
+	URL      string   `json:"url"`
+	Version  string   `json:"version"`
+	Protocol int      `json:"protocol"`
+	Capacity int      `json:"capacity,omitempty"` // concurrent shards (default 1)
+	Kinds    []string `json:"kinds,omitempty"`
+	DUTs     []string `json:"duts,omitempty"`
+	Stands   []string `json:"stands,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration: the assigned worker ID
+// and the lease the worker must keep alive by heartbeating (a worker
+// silent for longer than LeaseMillis is not scheduled).
+type RegisterResponse struct {
+	ID          string `json:"id"`
+	LeaseMillis int64  `json:"lease_ms"`
+	Protocol    int    `json:"protocol"`
+}
+
+// WorkerInfo is the GET /v1/workers snapshot of one registered worker.
+type WorkerInfo struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	URL      string   `json:"url"`
+	Version  string   `json:"version"`
+	Protocol int      `json:"protocol"`
+	Capacity int      `json:"capacity"`
+	Active   int      `json:"active"` // shards currently leased to it
+	State    string   `json:"state"`  // live | lost
+	Kinds    []string `json:"kinds,omitempty"`
+	DUTs     []string `json:"duts,omitempty"`
+	Stands   []string `json:"stands,omitempty"`
+}

@@ -189,7 +189,7 @@ func TestRunScriptOnPaperStand(t *testing.T) {
 	}
 }
 
-func TestRunWorkbookStreamsToSinks(t *testing.T) {
+func TestRunPlanStreamsToSinks(t *testing.T) {
 	collector := &Collector{}
 	r, err := NewRunner(
 		WithStand("paper_stand"),
@@ -199,12 +199,20 @@ func TestRunWorkbookStreamsToSinks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reps, err := r.RunWorkbook(context.Background(), paper.Workbook)
+	suite, err := LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := r.RunPlan(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(reps) != 1 || !reps[0].Passed() {
-		t.Fatalf("RunWorkbook = %d reports", len(reps))
+		t.Fatalf("RunPlan = %d reports", len(reps))
 	}
 	got := collector.Results()
 	if len(got) != 1 || got[0].Report != reps[0] {
@@ -212,10 +220,41 @@ func TestRunWorkbookStreamsToSinks(t *testing.T) {
 	}
 }
 
-func TestRunSuiteCancelled(t *testing.T) {
+func TestRunPlanCancelled(t *testing.T) {
 	r, err := NewRunner(WithDUT("interior_light"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	suite, err := LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunPlan(ctx, plan); err != context.Canceled {
+		t.Errorf("RunPlan on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeprecatedWrappersPinned is the LAST in-repo caller of the
+// deprecated RunSuite/RunWorkbook wrappers — a pin that they stay
+// byte-compatible with the compiled path until their removal (see the
+// timeline in this package's doc.go). Delete this test with them.
+func TestDeprecatedWrappersPinned(t *testing.T) {
+	r, err := NewRunner(WithDUT("interior_light"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := r.RunWorkbook(context.Background(), paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || !reps[0].Passed() {
+		t.Fatalf("RunWorkbook = %d reports", len(reps))
 	}
 	suite, err := LoadSuiteString(paper.Workbook)
 	if err != nil {

@@ -25,12 +25,40 @@ import (
 type Options struct {
 	// Serve configures the embedded job server (queue depth, worker
 	// pool, cache, retention). Its Executor field is owned by the
-	// coordinator and overwritten.
+	// coordinator and overwritten; so is Hooks when StateDir is set.
 	Serve serve.Options
 	// ShardUnits bounds the units per shard (default 4). Smaller
 	// shards spread wider and requeue cheaper; larger shards amortise
 	// dispatch overhead.
 	ShardUnits int
+	// StateDir, when set, makes the coordinator durable: every
+	// coordination event appends to <StateDir>/journal.ndjson, and on
+	// startup the journal is replayed — accepted jobs reappear,
+	// in-flight campaigns resume from their flushed stream offset, and
+	// shards whose workers retained them across the outage are
+	// re-adopted (re-attached, not re-run). If the directory or journal
+	// is unusable the error is logged and the coordinator runs
+	// non-durable rather than refusing to start.
+	StateDir string
+	// ShardTargetSeconds, when > 0, auto-tunes the campaign shard size
+	// so one shard carries roughly this many seconds of work, using the
+	// observed mean unit cost (the comptest_unit_seconds histogram).
+	// Until enough samples exist, ShardUnits applies. The chosen size
+	// is pinned per job in the journal, so a recovered campaign re-chunks
+	// exactly as it originally did. Off (0) by default: auto-sizing
+	// changes shard boundaries between runs, which is fine for results
+	// (the merge is order-identical regardless) but makes dispatch
+	// timing less reproducible.
+	ShardTargetSeconds float64
+	// StealLocal lets the coordinator's own executor steal a shard that
+	// has waited StealAfter for a remote slot while the whole fleet is
+	// saturated. Off by default: stealing trades strict fleet affinity
+	// for latency, and a coordinator co-located with heavy jobs may not
+	// want the extra load.
+	StealLocal bool
+	// StealAfter is how long a shard waits for a remote slot before
+	// StealLocal may claim it (default 2s). Ignored without StealLocal.
+	StealAfter time.Duration
 	// LeaseTTL is how long a worker stays schedulable without a
 	// heartbeat (default 15s). Workers heartbeat at a third of this.
 	LeaseTTL time.Duration
@@ -68,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxAttempts < 1 {
 		o.MaxAttempts = 3
+	}
+	if o.StealAfter <= 0 {
+		o.StealAfter = 2 * time.Second
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
@@ -113,27 +144,54 @@ type Coordinator struct {
 	mLeaseExpiries   *obs.Counter
 	mShardsCompleted *obs.Counter
 	mShardsLocal     *obs.Counter
+	mShardsStolen    *obs.Counter
+	mShardsReadopted *obs.Counter
+	mJobsRecovered   *obs.Counter
+	mJournalRecords  *obs.Counter
+	mJournalBytes    *obs.Counter
 	mScrapeErrors    *obs.Counter
 	mShardRoundtrip  *obs.Histogram
 	mScrapeSeconds   *obs.Histogram
 	mergerMu         sync.Mutex
 	mergers          map[*report.Merger]struct{}
 
+	// Durable state (nil / empty without Options.StateDir): the journal
+	// this coordinator appends to, and the replayed per-job state the
+	// executor claims — once — when a restored job reaches it.
+	journal     *journal
+	recoveredMu sync.Mutex
+	recovered   map[string]*recoveredJob
+
 	logger *slog.Logger
 	clock  func() time.Time
 }
 
-// New builds a Coordinator and its embedded job server.
+// New builds a Coordinator and its embedded job server. With
+// Options.StateDir set it first replays the journal found there —
+// compacting it into a fresh snapshot before anything can append — so
+// the jobs and fleet of the previous incarnation are live again before
+// the handler takes its first request.
 func New(opts Options) *Coordinator {
 	opts = opts.withDefaults()
 	c := &Coordinator{
-		opts:    opts,
-		reg:     newRegistry(opts.LeaseTTL, opts.now),
-		client:  opts.Client,
-		stop:    make(chan struct{}),
-		mergers: map[*report.Merger]struct{}{},
-		logger:  opts.Logger,
-		clock:   opts.now,
+		opts:      opts,
+		reg:       newRegistry(opts.LeaseTTL, opts.now),
+		client:    opts.Client,
+		stop:      make(chan struct{}),
+		mergers:   map[*report.Merger]struct{}{},
+		recovered: map[string]*recoveredJob{},
+		logger:    opts.Logger,
+		clock:     opts.now,
+	}
+	var replayedSt *replayed
+	if opts.StateDir != "" {
+		st, jnl, err := openJournal(opts.StateDir)
+		if err != nil {
+			c.logger.Error("durable state disabled", "state_dir", opts.StateDir, "error", err.Error())
+		} else {
+			replayedSt = st
+			c.journal = jnl
+		}
 	}
 	serveOpts := opts.Serve
 	serveOpts.Executor = c.execute
@@ -141,8 +199,30 @@ func New(opts Options) *Coordinator {
 		serveOpts.Metrics = obs.NewRegistry()
 	}
 	c.metrics = serveOpts.Metrics
+	if c.journal != nil {
+		// The persistence seam: acceptance (spec + workbook) before the
+		// job can run, every contiguously-flushed stream line, and the
+		// terminal status. Restore fires none of these for replayed
+		// history, so recovery never re-journals the journal.
+		serveOpts.Hooks = serve.Hooks{
+			Accepted: func(id string, spec serve.JobSpec, workbook string) {
+				c.journal.append(journalRec{T: "job", Job: id, Spec: &spec, Workbook: workbook})
+			},
+			Line: func(id string, line []byte) {
+				c.journal.append(journalRec{T: "line", Job: id,
+					Line: string(bytes.TrimSuffix(line, []byte("\n")))})
+			},
+			Finished: func(st serve.JobStatus) {
+				c.journal.append(journalRec{T: "done", Job: st.ID, Status: &st})
+			},
+		}
+	}
 	c.srv = serve.New(serveOpts)
 	c.registerMetrics()
+	if c.journal != nil {
+		c.journal.mRecords = c.mJournalRecords
+		c.journal.mBytes = c.mJournalBytes
+	}
 	// Counted under the registry lock at the moment liveness flips, so
 	// one lapse is one increment no matter how many goroutines observe it.
 	c.reg.onExpire = func(id string) {
@@ -166,6 +246,9 @@ func New(opts Options) *Coordinator {
 			}
 		}
 	}()
+	if replayedSt != nil {
+		c.adoptReplayed(replayedSt)
+	}
 	return c
 }
 
@@ -191,6 +274,9 @@ func (c *Coordinator) Close() {
 		c.srv.Close()
 		close(c.stop)
 		c.wg.Wait()
+		// After srv.Close: cancelled jobs journal their terminal status
+		// through the Finished hook before the file closes.
+		c.journal.close()
 		c.client.CloseIdleConnections()
 	})
 }
@@ -242,6 +328,15 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		jsonErr(w, http.StatusConflict, "%v", err)
 		return
 	}
+	capacity := req.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.journal.append(journalRec{T: "worker", Info: &WorkerInfo{
+		ID: resp.ID, Name: req.Name, URL: req.URL, Version: req.Version,
+		Protocol: req.Protocol, Capacity: capacity,
+		Kinds: req.Kinds, DUTs: req.DUTs, Stands: req.Stands,
+	}})
 	c.logger.Info("worker registered", "worker", resp.ID, "name", req.Name, "url", req.URL)
 	jsonOut(w, http.StatusOK, resp)
 }
@@ -262,6 +357,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	c.reg.Deregister(r.PathValue("id"))
+	c.journal.append(journalRec{T: "worker_gone", Worker: r.PathValue("id")})
 	c.logger.Info("worker deregistered", "worker", r.PathValue("id"))
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -361,6 +457,39 @@ func (p *progress) local() {
 	p.push()
 }
 
+// stolen: the local executor claimed a shard that waited too long for
+// a saturated fleet (Options.StealLocal).
+func (p *progress) stolen() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.Stolen++
+	p.st.Completed++
+	p.push()
+}
+
+// readopted: a recovered shard was re-attached to the worker that
+// retained it across the coordinator outage.
+func (p *progress) readopted(workerID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.Readopted++
+	p.st.Completed++
+	p.workers[workerID] = true
+	p.push()
+}
+
+// recoveredComplete: the journal proves every unit of the shard
+// reached the merged stream before the crash — nothing to run.
+func (p *progress) recoveredComplete(workerID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.Completed++
+	if workerID != "" {
+		p.workers[workerID] = true
+	}
+	p.push()
+}
+
 // tally accumulates per-unit verdicts as lines merge; only accepted
 // (non-duplicate) lines count, so requeued shards cannot double-book.
 type tally struct {
@@ -379,11 +508,35 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 	for i, sc := range scripts {
 		names[i] = sc.Name
 	}
-	shards := chunkShards(names, c.opts.ShardUnits)
+	// A recovered job re-chunks with the shard size pinned in its plan
+	// record — auto-tuning may have picked a different size since, and
+	// shard boundaries must not move under the journaled dispatch state.
+	rec := c.takeRecovered(ex.ID)
+	size := c.opts.ShardUnits
+	switch {
+	case rec != nil && rec.shardUnits > 0:
+		size = rec.shardUnits
+	case c.opts.ShardTargetSeconds > 0:
+		mean, samples := c.srv.UnitCost()
+		size = autoShardSize(c.opts.ShardTargetSeconds, mean, samples, size)
+	}
+	c.journal.append(journalRec{T: "plan", Job: ex.ID, ShardUnits: size})
+	shards := chunkShards(names, size)
 	prog := newProgress(len(shards), ex.OnShards)
-	merger := report.NewMerger(ex.Log)
+	// The resumed merger's floor is the journaled stream offset: those
+	// lines are already in the (preloaded) result log, so re-deliveries
+	// of them — from re-adopted streams or re-run shards — drop as
+	// duplicates and the first line this process writes is line floor.
+	floor := 0
+	if rec != nil {
+		floor = len(rec.lines)
+	}
+	merger := report.ResumeMerger(ex.Log, floor)
 	defer c.trackMerger(merger)()
 	tl := &tally{}
+	if rec != nil {
+		seedTally(tl, rec.lines)
+	}
 	// Traced campaigns reassemble the global span tree the same way the
 	// result log reassembles report lines: each shard's spans arrive as a
 	// complete subtree, are re-based onto the global unit sequence and
@@ -406,10 +559,24 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 		firstErr error
 	)
 	for _, sh := range shards {
+		var adopt *dispatchRec
+		if rec != nil {
+			if tm == nil && sh.base+len(sh.names) <= floor {
+				// Every unit of this shard is below the flushed floor: the
+				// journal holds its full output, nothing re-runs. (Traced
+				// jobs skip this skip — spans are not journaled, so every
+				// shard re-attaches to rebuild the span tree.)
+				prog.recoveredComplete(rec.dispatches[sh.base].worker)
+				continue
+			}
+			if d, ok := rec.dispatches[sh.base]; ok {
+				adopt = &d
+			}
+		}
 		wg.Add(1)
-		go func(sh shardSpec) {
+		go func(sh shardSpec, adopt *dispatchRec) {
 			defer wg.Done()
-			if err := c.runShard(dctx, ex, sh, merger, tl, prog, tm); err != nil && dctx.Err() == nil {
+			if err := c.runShard(dctx, ex, sh, adopt, merger, tl, prog, tm); err != nil && dctx.Err() == nil {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -417,7 +584,7 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 				errMu.Unlock()
 				dcancel()
 			}
-		}(sh)
+		}(sh, adopt)
 	}
 	wg.Wait()
 	if tm != nil {
@@ -454,15 +621,44 @@ func (c *Coordinator) executeCampaign(ctx context.Context, ex serve.Execution) (
 	return "red", nil
 }
 
-// runShard drives one shard to completion: acquire a worker, dispatch,
-// and on worker loss requeue on a survivor — the merger's sequence
-// dedup makes the retry exactly-once even when the dead worker already
-// delivered part of the shard. When no worker is live (or remote
-// attempts are exhausted) the coordinator executes the shard itself.
-func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shardSpec,
+// runShard drives one shard to completion: re-adopt it from a worker
+// that retained it across a coordinator restart (when recovery left a
+// dispatch address), else acquire a worker, dispatch, and on worker
+// loss requeue on a survivor — the merger's sequence dedup makes the
+// retry exactly-once even when the dead worker already delivered part
+// of the shard. When no worker is live (or remote attempts are
+// exhausted, or a saturated fleet kept the shard waiting past the
+// steal deadline) the coordinator executes the shard itself.
+func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shardSpec, adopt *dispatchRec,
 	merger *report.Merger, tl *tally, prog *progress, tm *report.TraceMerger) error {
 	n := need{kind: serve.KindCampaign, dut: ex.Spec.DUT, stand: ex.Spec.Stand}
 	lg := execLogger(ex)
+	if adopt != nil {
+		aerr := c.adoptShard(ctx, *adopt, ex, sh, merger, tl, tm)
+		if aerr == nil {
+			prog.readopted(adopt.worker)
+			c.mShardsReadopted.Inc()
+			c.mShardsCompleted.Inc()
+			lg.Info("shard re-adopted", "shard", sh.base, "worker", adopt.worker, "units", len(sh.names))
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var pe *permanentError
+		if errors.As(aerr, &pe) {
+			return aerr
+		}
+		// The retained job is gone (worker restarted during the outage,
+		// retention evicted it, …): erase the stale address and fall
+		// through to a normal dispatch. Units it already delivered sit
+		// below the merger floor and stay exactly-once.
+		c.journal.append(journalRec{T: "requeue", Job: ex.ID, Shard: sh.base})
+		prog.requeued()
+		c.mRequeues.Inc()
+		lg.Warn("shard re-adoption failed; redispatching",
+			"shard", sh.base, "worker", adopt.worker, "error", aerr.Error())
+	}
 	exclude := map[string]bool{}
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -474,7 +670,13 @@ func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shard
 			lg.Info("shard local", "shard", sh.base, "units", len(sh.names))
 			return c.runShardLocal(ctx, ex, sh, merger, tl, tm)
 		}
-		ls, err := c.reg.acquire(ctx, n, exclude)
+		ls, stole, err := c.reg.acquire(ctx, n, exclude, c.stealDeadline())
+		if stole {
+			prog.stolen()
+			c.mShardsStolen.Inc()
+			lg.Info("shard stolen by local executor", "shard", sh.base, "units", len(sh.names))
+			return c.runShardLocal(ctx, ex, sh, merger, tl, tm)
+		}
 		if errors.Is(err, ErrNoWorkers) {
 			prog.local()
 			c.mShardsLocal.Inc()
@@ -520,11 +722,46 @@ func (c *Coordinator) runShard(ctx context.Context, ex serve.Execution, sh shard
 		// it — its next heartbeat must not win the shard back.
 		c.reg.MarkLost(ls.id)
 		exclude[ls.id] = true
+		c.journal.append(journalRec{T: "requeue", Job: ex.ID, Shard: sh.base})
 		prog.requeued()
 		c.mRequeues.Inc()
 		lg.Warn("shard requeued", "shard", sh.base, "worker", ls.id, "error", derr.Error())
 	}
 }
+
+// stealDeadline is the acquire steal timeout: 0 (never) unless
+// Options.StealLocal opted in.
+func (c *Coordinator) stealDeadline() time.Duration {
+	if !c.opts.StealLocal {
+		return 0
+	}
+	return c.opts.StealAfter
+}
+
+// autoShardSize picks a campaign shard size carrying roughly
+// targetSeconds of work at the observed meanUnitSeconds cost. Below
+// autoShardMinSamples observations the estimate is noise and fallback
+// applies; the result clamps to [1, maxAutoShardUnits] so a pathological
+// estimate can neither serialise the campaign into single-unit shards'
+// inverse (a giant undivided shard) nor explode the dispatch count.
+func autoShardSize(targetSeconds, meanUnitSeconds float64, samples int64, fallback int) int {
+	if samples < autoShardMinSamples || meanUnitSeconds <= 0 || targetSeconds <= 0 {
+		return fallback
+	}
+	size := int(targetSeconds / meanUnitSeconds)
+	if size < 1 {
+		return 1
+	}
+	if size > maxAutoShardUnits {
+		return maxAutoShardUnits
+	}
+	return size
+}
+
+const (
+	autoShardMinSamples = 8
+	maxAutoShardUnits   = 256
+)
 
 // execLogger returns the job's structured logger, or a discard logger
 // for callers (tests, embedders driving execute directly) that never
@@ -624,6 +861,10 @@ func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Exec
 	spec.Scripts = sh.names
 	spec.Workbook = string(ex.Art.Source)
 	spec.WorkbookName = ""
+	// The shard runs under the WORKER's admission: the tenant already
+	// passed the coordinator's front-door quota, and older workers
+	// reject specs with fields they don't know.
+	spec.Tenant = ""
 	// The trace flag travels with the shard: each worker records its
 	// units' spans on a shard-local simulated timeline, and the
 	// TraceMerger re-bases them onto the job's global sequence once the
@@ -634,6 +875,11 @@ func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Exec
 	if err != nil {
 		return err
 	}
+	// Journaled after the submit succeeded: the remote job now exists
+	// and outlives this coordinator (workers retain terminal jobs), so
+	// a restarted coordinator can re-adopt it at this address.
+	c.journal.append(journalRec{T: "dispatch", Job: ex.ID, Shard: sh.base,
+		Worker: ls.id, URL: ls.url, Remote: jobID})
 	complete := false
 	defer func() {
 		if !complete {
@@ -644,7 +890,18 @@ func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Exec
 			c.cancelRemote(ls.url, jobID)
 		}
 	}()
+	if err := c.streamShard(sctx, ls, jobID, ex, sh, merger, tl, tm); err != nil {
+		return err
+	}
+	complete = true
+	return nil
+}
 
+// streamShard attaches to a worker-side shard job's stream — fresh
+// dispatch and crash re-adoption share this path — and merges each
+// line under the shard's global sequence numbers.
+func (c *Coordinator) streamShard(sctx context.Context, ls lease, jobID string, ex serve.Execution,
+	sh shardSpec, merger *report.Merger, tl *tally, tm *report.TraceMerger) error {
 	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
 		ls.url+"/v1/jobs/"+jobID+"/stream", nil)
 	if err != nil {
@@ -700,7 +957,6 @@ func (c *Coordinator) dispatchShard(ctx context.Context, ls lease, ex serve.Exec
 			return permanentf("dist: merge trace of shard %d from %s: %v", sh.base, ls.id, err)
 		}
 	}
-	complete = true
 	return nil
 }
 
@@ -901,12 +1157,42 @@ func (c *Coordinator) executeWhole(ctx context.Context, ex serve.Execution) (str
 	n := need{kind: ex.Spec.Kind, dut: ex.Spec.DUT, stand: ex.Spec.Stand}
 	exclude := map[string]bool{}
 	prog := newProgress(1, ex.OnShards)
+	if rec := c.takeRecovered(ex.ID); rec != nil {
+		ad, held := rec.dispatches[wholeShard]
+		if held {
+			verdict, aerr := c.adoptWhole(ctx, ad, ex, len(rec.lines))
+			if aerr == nil {
+				prog.readopted(ad.worker)
+				c.mShardsReadopted.Inc()
+				c.mShardsCompleted.Inc()
+				execLogger(ex).Info("job re-adopted", "worker", ad.worker, "skipped", len(rec.lines))
+				return verdict, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+			if len(rec.lines) > 0 {
+				// Reports already relayed and the retained job unreachable:
+				// with no sequence numbers to dedup on, a re-run would
+				// duplicate them. Fail loudly, like a mid-stream worker loss.
+				return "", fmt.Errorf("dist: cannot resume a %s job whose reports were already relayed "+
+					"(resubmit it): %w", ex.Spec.Kind, aerr)
+			}
+			c.journal.append(journalRec{T: "requeue", Job: ex.ID, Shard: wholeShard})
+			prog.requeued()
+			c.mRequeues.Inc()
+			execLogger(ex).Warn("job re-adoption failed; redispatching", "worker", ad.worker, "error", aerr.Error())
+		} else if len(rec.lines) > 0 {
+			return "", fmt.Errorf("dist: cannot resume a %s job: %d reports were already relayed "+
+				"and no worker retains the job; resubmit it", ex.Spec.Kind, len(rec.lines))
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return "", err
 		}
-		ls, err := c.reg.acquire(ctx, n, exclude)
+		ls, _, err := c.reg.acquire(ctx, n, exclude, 0)
 		if errors.Is(err, ErrNoWorkers) {
 			prog.local()
 			c.mShardsLocal.Inc()
@@ -957,17 +1243,34 @@ func (c *Coordinator) dispatchWhole(ctx context.Context, ls lease, ex serve.Exec
 	spec := ex.Spec
 	spec.Workbook = string(ex.Art.Source)
 	spec.WorkbookName = ""
+	spec.Tenant = "" // quota applies at the coordinator's front door only
 	spec.Trace = false // mutate/explore jobs reject the flag anyway
 	jobID, err := c.submit(sctx, ls.url, spec)
 	if err != nil {
 		return "", err
 	}
+	c.journal.append(journalRec{T: "dispatch", Job: ex.ID, Shard: wholeShard,
+		Worker: ls.id, URL: ls.url, Remote: jobID})
 	complete := false
 	defer func() {
 		if !complete {
 			c.cancelRemote(ls.url, jobID)
 		}
 	}()
+	verdict, err := c.streamWhole(sctx, ls, jobID, ex, 0, relayed)
+	if err != nil {
+		return "", err
+	}
+	complete = true
+	return verdict, nil
+}
+
+// streamWhole attaches to a worker-side mutate/explore job — fresh
+// dispatch and crash re-adoption share this path — skipping the first
+// skip lines (already relayed by a previous coordinator incarnation)
+// and relaying the rest verbatim, then reads the terminal status.
+func (c *Coordinator) streamWhole(sctx context.Context, ls lease, jobID string,
+	ex serve.Execution, skip int, relayed *int) (string, error) {
 	req, err := http.NewRequestWithContext(sctx, http.MethodGet, ls.url+"/v1/jobs/"+jobID+"/stream", nil)
 	if err != nil {
 		return "", err
@@ -980,14 +1283,22 @@ func (c *Coordinator) dispatchWhole(ctx context.Context, ls lease, ex serve.Exec
 	if resp.StatusCode != http.StatusOK {
 		return "", fmt.Errorf("dist: stream from %s: status %d", ls.id, resp.StatusCode)
 	}
+	skipped := 0
 	if err := readLines(resp.Body, func(line []byte) error {
+		if skipped < skip {
+			skipped++
+			return nil
+		}
 		if _, err := ex.Log.Write(append(append([]byte(nil), line...), '\n')); err != nil {
 			return err
 		}
 		*relayed++
 		return nil
 	}); err != nil {
-		return "", fmt.Errorf("dist: stream from %s broke after %d reports: %w", ls.id, *relayed, err)
+		return "", fmt.Errorf("dist: stream from %s broke after %d reports: %w", ls.id, skipped+*relayed, err)
+	}
+	if skipped < skip {
+		return "", fmt.Errorf("dist: retained job on %s replayed only %d of %d already-relayed reports", ls.id, skipped, skip)
 	}
 	st, err := c.remoteStatus(ls.url, jobID)
 	if err != nil {
@@ -1006,6 +1317,5 @@ func (c *Coordinator) dispatchWhole(ctx context.Context, ls lease, ex serve.Exec
 	if st.Exploration != nil && ex.OnExploration != nil {
 		ex.OnExploration(*st.Exploration)
 	}
-	complete = true
 	return st.Verdict, nil
 }

@@ -571,7 +571,7 @@ func TestLeaseExpiry(t *testing.T) {
 		t.Errorf("lease = %d ms, want 10000", resp.LeaseMillis)
 	}
 
-	ls, err := reg.acquire(t.Context(), need{kind: "campaign"}, nil)
+	ls, _, err := reg.acquire(t.Context(), need{kind: "campaign"}, nil, 0)
 	if err != nil || ls.id != resp.ID {
 		t.Fatalf("acquire: %v %+v", err, ls)
 	}
@@ -580,7 +580,7 @@ func TestLeaseExpiry(t *testing.T) {
 	mu.Lock()
 	now = now.Add(11 * time.Second)
 	mu.Unlock()
-	if _, err := reg.acquire(t.Context(), need{kind: "campaign"}, nil); err != ErrNoWorkers {
+	if _, _, err := reg.acquire(t.Context(), need{kind: "campaign"}, nil, 0); err != ErrNoWorkers {
 		t.Fatalf("expired lease still acquirable: %v", err)
 	}
 	if n := reg.LiveCount(); n != 0 {
@@ -590,7 +590,7 @@ func TestLeaseExpiry(t *testing.T) {
 	if !reg.Heartbeat(resp.ID) {
 		t.Fatal("heartbeat rejected")
 	}
-	if _, err := reg.acquire(t.Context(), need{kind: "campaign"}, nil); err != nil {
+	if _, _, err := reg.acquire(t.Context(), need{kind: "campaign"}, nil, 0); err != nil {
 		t.Fatalf("heartbeat did not revive the worker: %v", err)
 	}
 }
@@ -606,13 +606,13 @@ func TestRegistryCapabilityFiltering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.acquire(t.Context(), need{kind: "mutate", dut: "interior_light"}, nil); err != ErrNoWorkers {
+	if _, _, err := reg.acquire(t.Context(), need{kind: "mutate", dut: "interior_light"}, nil, 0); err != ErrNoWorkers {
 		t.Fatalf("kind mismatch acquired: %v", err)
 	}
-	if _, err := reg.acquire(t.Context(), need{kind: "campaign", dut: "central_locking"}, nil); err != ErrNoWorkers {
+	if _, _, err := reg.acquire(t.Context(), need{kind: "campaign", dut: "central_locking"}, nil, 0); err != ErrNoWorkers {
 		t.Fatalf("dut mismatch acquired: %v", err)
 	}
-	ls, err := reg.acquire(t.Context(), need{kind: "campaign", dut: "interior_light"}, nil)
+	ls, _, err := reg.acquire(t.Context(), need{kind: "campaign", dut: "interior_light"}, nil, 0)
 	if err != nil || ls.id != resp.ID {
 		t.Fatalf("matching acquire failed: %v", err)
 	}

@@ -23,6 +23,11 @@ const (
 	MetricLeaseExpiries     = "dist_lease_expiries_total"
 	MetricShardsCompleted   = "dist_shards_completed_total"
 	MetricShardsLocal       = "dist_shards_local_total"
+	MetricShardsStolen      = "dist_shards_stolen_total"
+	MetricShardsReadopted   = "dist_shards_readopted_total"
+	MetricJobsRecovered     = "dist_jobs_recovered_total"
+	MetricJournalRecords    = "dist_journal_records_total"
+	MetricJournalBytes      = "dist_journal_bytes_total"
 	MetricMergerPending     = "dist_merger_pending_lines"
 	MetricScrapeErrors      = "dist_scrape_errors_total"
 	MetricShardRoundtrip    = "dist_shard_roundtrip_seconds"
@@ -59,6 +64,11 @@ func (c *Coordinator) registerMetrics() {
 	c.mLeaseExpiries = reg.Counter(MetricLeaseExpiries, "workers whose heartbeat lease lapsed")
 	c.mShardsCompleted = reg.Counter(MetricShardsCompleted, "shards merged to completion")
 	c.mShardsLocal = reg.Counter(MetricShardsLocal, "shards executed by the local fallback")
+	c.mShardsStolen = reg.Counter(MetricShardsStolen, "shards stolen by the local executor from a saturated fleet")
+	c.mShardsReadopted = reg.Counter(MetricShardsReadopted, "recovered shards re-attached to workers that retained them")
+	c.mJobsRecovered = reg.Counter(MetricJobsRecovered, "in-flight jobs resumed from the journal at startup")
+	c.mJournalRecords = reg.Counter(MetricJournalRecords, "records appended to the coordination journal")
+	c.mJournalBytes = reg.Counter(MetricJournalBytes, "bytes appended to the coordination journal")
 	c.mScrapeErrors = reg.Counter(MetricScrapeErrors, "failed worker /metrics scrapes during fleet aggregation")
 	c.mShardRoundtrip = reg.Histogram(MetricShardRoundtrip,
 		"seconds from shard dispatch to its stream fully merged", shardRoundtripBounds)

@@ -4,54 +4,24 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/comptest/api"
 	"repro/internal/version"
 )
 
-// RegisterRequest is the body a worker POSTs to /v1/workers: the
-// coordinator↔worker handshake. URL is where the coordinator reaches
-// the worker's job API; Version/Protocol identify the build (see
-// internal/version) — a protocol mismatch is rejected outright, so an
-// incompatible worker fails at registration instead of corrupting a
-// merge mid-campaign. The capability lists bound what the coordinator
-// will schedule onto the worker; an empty list advertises support for
-// everything.
-type RegisterRequest struct {
-	Name     string   `json:"name,omitempty"`
-	URL      string   `json:"url"`
-	Version  string   `json:"version"`
-	Protocol int      `json:"protocol"`
-	Capacity int      `json:"capacity,omitempty"` // concurrent shards (default 1)
-	Kinds    []string `json:"kinds,omitempty"`
-	DUTs     []string `json:"duts,omitempty"`
-	Stands   []string `json:"stands,omitempty"`
-}
-
-// RegisterResponse acknowledges a registration: the assigned worker ID
-// and the lease the worker must keep alive by heartbeating (a worker
-// silent for longer than LeaseMillis is not scheduled).
-type RegisterResponse struct {
-	ID          string `json:"id"`
-	LeaseMillis int64  `json:"lease_ms"`
-	Protocol    int    `json:"protocol"`
-}
-
-// WorkerInfo is the GET /v1/workers snapshot of one registered worker.
-type WorkerInfo struct {
-	ID       string   `json:"id"`
-	Name     string   `json:"name,omitempty"`
-	URL      string   `json:"url"`
-	Version  string   `json:"version"`
-	Protocol int      `json:"protocol"`
-	Capacity int      `json:"capacity"`
-	Active   int      `json:"active"` // shards currently leased to it
-	State    string   `json:"state"`  // live | lost
-	Kinds    []string `json:"kinds,omitempty"`
-	DUTs     []string `json:"duts,omitempty"`
-	Stands   []string `json:"stands,omitempty"`
-}
+// The registration wire types are canonical in comptest/api and
+// aliased here: RegisterRequest is the coordinator↔worker handshake a
+// worker POSTs to /v1/workers, RegisterResponse carries the assigned
+// ID and heartbeat lease, WorkerInfo is the GET /v1/workers snapshot.
+type (
+	RegisterRequest  = api.RegisterRequest
+	RegisterResponse = api.RegisterResponse
+	WorkerInfo       = api.WorkerInfo
+)
 
 // ErrNoWorkers reports that no registered live worker can execute the
 // requested work — the coordinator's cue to fall back to local
@@ -276,23 +246,33 @@ type lease struct {
 // acquire blocks until a live, capability-matching, non-excluded
 // worker has a free shard slot, then reserves one. It returns
 // ErrNoWorkers as soon as NO eligible worker is live at all (free or
-// busy) — waiting would then be waiting for nobody. Callers must
-// release the lease. Cancellation is honoured through ctx; the
-// coordinator's ticker broadcasts periodically so silent lease expiry
-// also wakes waiters.
-func (r *Registry) acquire(ctx context.Context, n need, exclude map[string]bool) (lease, error) {
+// busy) — waiting would then be waiting for nobody. With stealAfter >
+// 0, a wait that outlives it while the fleet is saturated returns
+// stolen=true instead of a lease: the caller runs the work locally
+// (work-stealing). The deadline is checked on each wakeup, so its
+// granularity is the coordinator's broadcast ticker, not exact.
+// Callers must release the lease. Cancellation is honoured through
+// ctx; the coordinator's ticker broadcasts periodically so silent
+// lease expiry also wakes waiters.
+func (r *Registry) acquire(ctx context.Context, n need, exclude map[string]bool,
+	stealAfter time.Duration) (ls lease, stolen bool, err error) {
 	// A blocked Wait has no channel to select on; broadcast on ctx
 	// cancellation exactly like the serve result log does.
 	stop := context.AfterFunc(ctx, r.broadcast)
 	defer stop()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var deadline time.Time
+	if stealAfter > 0 {
+		deadline = r.now().Add(stealAfter)
+	}
+	waited := false
 	for {
 		if err := ctx.Err(); err != nil {
-			return lease{}, err
+			return lease{}, false, err
 		}
 		if r.closed {
-			return lease{}, fmt.Errorf("dist: coordinator is shutting down")
+			return lease{}, false, fmt.Errorf("dist: coordinator is shutting down")
 		}
 		var best *workerRec
 		anyLive := false
@@ -316,13 +296,68 @@ func (r *Registry) acquire(ctx context.Context, n need, exclude map[string]bool)
 		}
 		if best != nil {
 			best.active++
-			return lease{id: best.id, url: best.url}, nil
+			return lease{id: best.id, url: best.url}, false, nil
 		}
 		if !anyLive {
-			return lease{}, ErrNoWorkers
+			return lease{}, false, ErrNoWorkers
 		}
+		if stealAfter > 0 && waited && !r.now().Before(deadline) {
+			return lease{}, true, nil
+		}
+		waited = true
 		r.cond.Wait()
 	}
+}
+
+// restore re-installs journal-recovered fleet membership after a
+// coordinator restart. Restored workers keep their IDs (the journal's
+// dispatch records address them) but start out of lease — their next
+// heartbeat, due within a third of the lease TTL, revives them without
+// a round of 404-driven re-registration. The ID sequence advances past
+// every restored worker so new registrations cannot collide.
+func (r *Registry) restore(infos []WorkerInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range infos {
+		if w.ID == "" || w.URL == "" {
+			continue
+		}
+		if _, dup := r.recs[w.ID]; dup {
+			continue
+		}
+		capacity := w.Capacity
+		if capacity < 1 {
+			capacity = 1
+		}
+		rec := &workerRec{
+			id: w.ID, name: w.Name, url: w.URL, version: w.Version,
+			protocol: w.Protocol, capacity: capacity,
+			kinds: w.Kinds, duts: w.DUTs, stands: w.Stands,
+			// lastSeen stays zero — out of lease until the first heartbeat.
+			// expired pre-latched: a restored-but-silent worker is not a
+			// fresh lease expiry worth counting or logging.
+			expired: true,
+		}
+		r.recs[w.ID] = rec
+		r.order = append(r.order, w.ID)
+		if n, ok := workerSeq(w.ID); ok && n > r.seq {
+			r.seq = n
+		}
+	}
+	r.cond.Broadcast()
+}
+
+// workerSeq extracts the numeric suffix of a "w-%04d" identifier.
+func workerSeq(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "w-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // release returns a shard slot.

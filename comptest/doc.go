@@ -47,8 +47,13 @@
 //	plan, err := comptest.Compile(suite)   // was: r.RunSuite(ctx, suite)
 //	reps, err := r.RunPlan(ctx, plan)
 //
-// The wrappers will be removed one release after the CLI, examples and
-// serve/dist engines finished migrating (they already run on Plans).
+// Removal timeline: every in-repo caller — CLI, examples, the
+// serve/dist engines and the package tests — now runs on Plans; the
+// one remaining wrapper caller is the pin test
+// (TestDeprecatedWrappersPinned) that holds the wrappers to the
+// compiled path's behaviour until they go. RunWorkbook will be removed
+// in the next release, RunSuite in the release after next; the pin
+// test is deleted with them.
 //
 // Stands and DUT models are looked up in process-wide registries
 // (RegisterStand, RegisterDUT) keyed by name — the four built-in stand

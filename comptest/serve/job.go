@@ -9,65 +9,28 @@ import (
 	"time"
 
 	"repro/comptest"
+	"repro/comptest/api"
 	"repro/comptest/mutation"
 )
 
-// Kind selects a job's execution engine.
+// The wire types of the job API are canonical in comptest/api and
+// aliased here, so serve's exported surface is unchanged while the
+// JSON cannot drift from what remote workers and dashboards decode.
 const (
-	KindCampaign = "campaign" // one comptest.Campaign: every script × one stand
-	KindMutate   = "mutate"   // mutation.Run: kill matrix, baseline + mutants
-	KindExplore  = "explore"  // explore.Run: coverage-guided scenario search
-	KindVet      = "vet"      // lint.Run: workbook static analysis, one finding per line
+	KindCampaign = api.KindCampaign // one comptest.Campaign: every script × one stand
+	KindMutate   = api.KindMutate   // mutation.Run: kill matrix, baseline + mutants
+	KindExplore  = api.KindExplore  // explore.Run: coverage-guided scenario search
+	KindVet      = api.KindVet      // lint.Run: workbook static analysis, one finding per line
 )
 
-// JobSpec is the POST /v1/jobs request body. The zero value of every
-// field selects a default; an empty spec runs the paper's built-in
-// interior-illumination campaign on the paper stand.
-type JobSpec struct {
-	// Kind: campaign (default), mutate, explore or vet.
-	Kind string `json:"kind,omitempty"`
-	// Workbook is the inline workbook text. Mutually exclusive with
-	// WorkbookName.
-	Workbook string `json:"workbook,omitempty"`
-	// WorkbookName names a registered DUT whose built-in workbook is
-	// used. Mutually exclusive with Workbook.
-	WorkbookName string `json:"workbook_name,omitempty"`
-	// DUT is the registered model under test. Defaults to WorkbookName
-	// when that is set, interior_light otherwise.
-	DUT string `json:"dut,omitempty"`
-	// Stand is the stand profile. Defaults to the DUT's known-green
-	// stand (mutation.DefaultStand).
-	Stand string `json:"stand,omitempty"`
-	// Scripts, when non-empty, restricts a campaign job to the named
-	// generated scripts of the workbook, in the given order. This is
-	// the shard selector of the distributed layer (comptest/dist): a
-	// coordinator splits a campaign's script list into chunks and
-	// submits each chunk as an ordinary job carrying the same workbook
-	// bytes — which the worker's artifact cache parses only once.
-	Scripts []string `json:"scripts,omitempty"`
-	// Faults are injected into every campaign unit's DUT instance
-	// (campaign kind only).
-	Faults []string `json:"faults,omitempty"`
-	// Parallelism bounds the job's worker pool (default: the server's
-	// per-job default).
-	Parallelism int `json:"parallelism,omitempty"`
-	// Seed and Budget parameterise explore jobs (explore's own
-	// defaults apply when zero).
-	Seed   int64 `json:"seed,omitempty"`
-	Budget int   `json:"budget,omitempty"`
-	// Oracle lists fault names used as explore kill oracles.
-	Oracle []string `json:"oracle,omitempty"`
-	// Trace enables structured span tracing for campaign jobs: the
-	// execution timeline (campaign → unit → step) streams as NDJSON
-	// from GET /v1/jobs/{id}/trace. Off by default — the attached
-	// observer makes the solver sample outputs every stand.TracePeriod,
-	// which is measurable extra work on the hot path.
-	Trace bool `json:"trace,omitempty"`
-}
+// JobSpec is the POST /v1/jobs request body (api.JobSpec).
+type JobSpec = api.JobSpec
 
-// normalize resolves the spec's defaults in place and validates the
-// cheap invariants. Returns the workbook text to execute.
-func (sp *JobSpec) normalize() (string, error) {
+// normalizeSpec resolves the spec's defaults in place and validates
+// the cheap invariants. Returns the workbook text to execute. (A free
+// function, not a method: JobSpec is an alias of api.JobSpec, and
+// methods cannot be declared on another package's type.)
+func normalizeSpec(sp *JobSpec) (string, error) {
 	switch sp.Kind {
 	case "":
 		sp.Kind = KindCampaign
@@ -120,90 +83,27 @@ func (sp *JobSpec) normalize() (string, error) {
 	return wb, nil
 }
 
-// State is a job's lifecycle phase.
-type State string
+// State is a job's lifecycle phase (api.State).
+type State = api.State
 
 const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
-	StateDone      State = "done"      // engine completed; see Verdict
-	StateFailed    State = "failed"    // engine error (red baseline, build failure, …)
-	StateCancelled State = "cancelled" // DELETE or server shutdown
+	StateQueued    = api.StateQueued
+	StateRunning   = api.StateRunning
+	StateDone      = api.StateDone      // engine completed; see Verdict
+	StateFailed    = api.StateFailed    // engine error (red baseline, build failure, …)
+	StateCancelled = api.StateCancelled // DELETE or server shutdown
 )
 
-// terminal reports whether the state is final.
-func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
-
-// CampaignStatus summarises a campaign job (mirrors comptest.Summary).
-type CampaignStatus struct {
-	Units   int `json:"units"`
-	Passed  int `json:"passed"`
-	Failed  int `json:"failed"`
-	Errored int `json:"errored"`
-	Skipped int `json:"skipped"`
-}
-
-// MutationStatus summarises a mutate job's kill matrix.
-type MutationStatus struct {
-	Mutants  int `json:"mutants"`
-	Killed   int `json:"killed"`
-	Survived int `json:"survived"`
-	Errored  int `json:"errored"`
-}
-
-// VetStatus summarises a vet job's findings by severity.
-type VetStatus struct {
-	Findings   int `json:"findings"`
-	Errors     int `json:"errors"`
-	Warnings   int `json:"warnings"`
-	Infos      int `json:"infos"`
-	Suppressed int `json:"suppressed"`
-}
-
-// ExplorationStatus summarises an explore job's corpus.
-type ExplorationStatus struct {
-	Candidates   int `json:"candidates"`
-	Executions   int `json:"executions"`
-	Scenarios    int `json:"scenarios"`
-	CoverageKeys int `json:"coverage_keys"`
-}
-
-// ShardStatus summarises the distributed execution of a job: how its
-// unit matrix was chunked, how far dispatch has progressed, and how
-// often shards had to be requeued onto surviving workers. Only set on
-// servers executing through a distributing Executor (comptest/dist).
-type ShardStatus struct {
-	Total     int `json:"total"`     // shards the unit matrix was split into
-	Completed int `json:"completed"` // shards fully merged
-	Requeued  int `json:"requeued"`  // dispatch attempts retried on another worker
-	Local     int `json:"local"`     // shards executed by the coordinator's local fallback
-	// Workers lists the distinct worker IDs that completed shards.
-	Workers []string `json:"workers,omitempty"`
-}
-
-// JobStatus is the GET /v1/jobs/{id} response body.
-type JobStatus struct {
-	ID    string `json:"id"`
-	Kind  string `json:"kind"`
-	State State  `json:"state"`
-	// Verdict is set on done jobs: green when the job's engine reports
-	// full success (campaign all-pass, mutation matrix without errored
-	// mutants, exploration complete), red otherwise.
-	Verdict string `json:"verdict,omitempty"`
-	Error   string `json:"error,omitempty"`
-	// Reports counts the NDJSON lines streamed so far.
-	Reports     int                `json:"reports"`
-	Workbook    string             `json:"workbook"` // artifact content hash
-	Stand       string             `json:"stand"`
-	DUT         string             `json:"dut"`
-	Campaign    *CampaignStatus    `json:"campaign,omitempty"`
-	Mutation    *MutationStatus    `json:"mutation,omitempty"`
-	Exploration *ExplorationStatus `json:"exploration,omitempty"`
-	Vet         *VetStatus         `json:"vet,omitempty"`
-	Shards      *ShardStatus       `json:"shards,omitempty"`
-}
+// Status aliases: the per-engine summary blocks and the status
+// envelope of GET /v1/jobs/{id}.
+type (
+	CampaignStatus    = api.CampaignStatus
+	MutationStatus    = api.MutationStatus
+	VetStatus         = api.VetStatus
+	ExplorationStatus = api.ExplorationStatus
+	ShardStatus       = api.ShardStatus
+	JobStatus         = api.JobStatus
+)
 
 // Job is one submitted execution, owned by the server.
 type Job struct {
@@ -221,6 +121,15 @@ type Job struct {
 	events    *eventRing
 	logger    *slog.Logger
 	submitted time.Time // acceptance instant, for queue-wait latency
+	// recovered marks a job restored from a journal (Server.Restore);
+	// surfaced on JobStatus so clients can tell a replayed result log
+	// from a live one. Set before the job becomes visible.
+	recovered bool
+	// onFinish, when non-nil, runs exactly once after the job reaches
+	// its terminal state and its logs are closed (the server's
+	// persistence + quota-release hook). Set before the job becomes
+	// visible.
+	onFinish func()
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -247,7 +156,7 @@ func (j *Job) currentState() State {
 // setState transitions a non-terminal job.
 func (j *Job) setState(s State) {
 	j.mu.Lock()
-	if !j.state.terminal() {
+	if !api.Terminal(j.state) {
 		j.state = s
 	}
 	j.mu.Unlock()
@@ -259,7 +168,7 @@ func (j *Job) setState(s State) {
 // it — only the first call wins.
 func (j *Job) finish(s State, verdict, errmsg string) {
 	j.mu.Lock()
-	if j.state.terminal() {
+	if api.Terminal(j.state) {
 		j.mu.Unlock()
 		return
 	}
@@ -271,6 +180,9 @@ func (j *Job) finish(s State, verdict, errmsg string) {
 	if j.trace != nil {
 		j.trace.close()
 	}
+	if j.onFinish != nil {
+		j.onFinish()
+	}
 }
 
 // Status snapshots the job for the API.
@@ -278,15 +190,17 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:       j.id,
-		Kind:     j.spec.Kind,
-		State:    j.state,
-		Verdict:  j.verdict,
-		Error:    j.errmsg,
-		Reports:  j.log.len(),
-		Workbook: j.art.Key,
-		Stand:    j.spec.Stand,
-		DUT:      j.spec.DUT,
+		ID:        j.id,
+		Kind:      j.spec.Kind,
+		State:     j.state,
+		Verdict:   j.verdict,
+		Error:     j.errmsg,
+		Reports:   j.log.len(),
+		Workbook:  j.art.Key,
+		Stand:     j.spec.Stand,
+		DUT:       j.spec.DUT,
+		Tenant:    j.spec.Tenant,
+		Recovered: j.recovered,
 	}
 	if j.campaign != nil {
 		c := *j.campaign
@@ -325,10 +239,12 @@ type resultLog struct {
 	cond   *sync.Cond
 	lines  [][]byte // guarded by mu
 	closed bool     // guarded by mu
-	// onAppend, when non-nil, observes every appended line's byte
-	// length (the server's throughput counters). Set before the first
-	// Write and never changed after.
-	onAppend func(n int)
+	// onAppend, when non-nil, observes every appended line (the
+	// server's throughput counters and, when persistence is wired, the
+	// journal hook). Set before the first Write and never changed
+	// after; in particular, Server.Restore preloads recovered lines
+	// BEFORE attaching it, so replayed history is not re-journaled.
+	onAppend func(line []byte)
 }
 
 func newResultLog() *resultLog {
@@ -346,9 +262,18 @@ func (l *resultLog) Write(p []byte) (int, error) {
 	l.cond.Broadcast()
 	l.mu.Unlock()
 	if l.onAppend != nil {
-		l.onAppend(len(p))
+		l.onAppend(line)
 	}
 	return len(p), nil
+}
+
+// preload seeds the log with recovered history (Server.Restore).
+// Called before the log is visible to readers and before onAppend is
+// attached, so replayed lines reach streams but not the hooks.
+func (l *resultLog) preload(lines [][]byte) {
+	l.mu.Lock()
+	l.lines = append(l.lines, lines...)
+	l.mu.Unlock()
 }
 
 // close marks the log complete and wakes every waiting reader.

@@ -21,6 +21,8 @@ const (
 	MetricUnitRate      = "comptest_job_units_per_second"
 	MetricQueueWait     = "comptest_queue_wait_seconds"
 	MetricUnitSeconds   = "comptest_unit_seconds"
+	MetricQuotaRejected = "comptest_quota_rejected_total"
+	MetricTenantsActive = "comptest_tenants_active"
 )
 
 // jobSecondsBounds buckets job wall-clock durations: the paper's
@@ -68,6 +70,21 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	s.unitRate = reg.Histogram(MetricUnitRate, "result lines per second of finished jobs", unitRateBounds)
 	s.queueWait = reg.Histogram(MetricQueueWait, "seconds jobs waited between acceptance and start", queueWaitBounds)
 	s.unitSeconds = reg.Histogram(MetricUnitSeconds, "wall-clock execution seconds of campaign units", unitSecondsBounds)
+	s.mQuotaRejected = reg.Counter(MetricQuotaRejected, "submissions rejected by per-tenant quota (429)")
+	reg.GaugeFunc(MetricTenantsActive, "tenants with at least one queued or running job",
+		func() float64 { return float64(s.quota.activeTenants()) })
+}
+
+// UnitCost reports the mean wall-clock seconds per campaign unit and
+// the sample count behind it — the comptest_unit_seconds histogram's
+// running aggregate. The dist coordinator auto-tunes shard sizes from
+// this.
+func (s *Server) UnitCost() (mean float64, samples int64) {
+	count := s.unitSeconds.Count()
+	if count == 0 {
+		return 0, 0
+	}
+	return s.unitSeconds.Sum() / float64(count), count
 }
 
 // jobsByState scans the live job table — the same data the list and

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// QuotaOptions bounds what one tenant (JobSpec.Tenant) may do. Zero
+// values disable the corresponding limit; the zero struct disables
+// quota enforcement entirely, which keeps single-tenant deployments
+// byte-for-byte on the old admission path (503 on a full queue only).
+type QuotaOptions struct {
+	// MaxActive bounds a tenant's queued+running jobs. A tenant at the
+	// bound is rejected with 429 until one of its jobs finishes.
+	MaxActive int
+	// RatePerSec is a tenant's sustained submission rate, enforced by
+	// a token bucket refilled continuously.
+	RatePerSec float64
+	// Burst is the bucket depth — how many submissions a tenant may
+	// make back-to-back after an idle period (default: RatePerSec
+	// rounded up, minimum 1). Ignored when RatePerSec is 0.
+	Burst int
+}
+
+func (q QuotaOptions) enabled() bool {
+	return q.MaxActive > 0 || q.RatePerSec > 0
+}
+
+func (q QuotaOptions) burst() float64 {
+	if q.Burst > 0 {
+		return float64(q.Burst)
+	}
+	if b := math.Ceil(q.RatePerSec); b >= 1 {
+		return b
+	}
+	return 1
+}
+
+// tenantBucket is one tenant's live accounting: the active-job count
+// and a continuously-refilled token bucket for the submission rate.
+type tenantBucket struct {
+	active int
+	tokens float64
+	last   time.Time // refill high-water mark
+}
+
+// quotaState tracks every tenant with open accounting. Buckets are
+// created on first use and dropped once a tenant is idle with a full
+// bucket, so the map is bounded by the set of concurrently active
+// tenants, not by every tenant name ever seen.
+type quotaState struct {
+	opts QuotaOptions
+
+	mu      sync.Mutex
+	tenants map[string]*tenantBucket
+}
+
+func newQuotaState(opts QuotaOptions) *quotaState {
+	return &quotaState{opts: opts, tenants: map[string]*tenantBucket{}}
+}
+
+// admit reserves one submission for the tenant. On success it returns
+// a release callback (idempotent; run it when the job finishes — or
+// immediately, if a later validation step rejects the submission) and
+// ok=true. On rejection it returns the suggested wait before retrying.
+// A rejected submission consumes no token: rejections must not starve
+// the tenant's own retry.
+func (q *quotaState) admit(tenant string, now time.Time) (release func(), retryAfter time.Duration, ok bool) {
+	if !q.opts.enabled() {
+		return func() {}, 0, true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.tenants[tenant]
+	if b == nil {
+		b = &tenantBucket{tokens: q.opts.burst(), last: now}
+		q.tenants[tenant] = b
+	}
+	if q.opts.RatePerSec > 0 {
+		// Continuous refill since the last admission attempt, capped at
+		// the burst depth.
+		b.tokens = math.Min(q.opts.burst(), b.tokens+now.Sub(b.last).Seconds()*q.opts.RatePerSec)
+		b.last = now
+	}
+	if q.opts.MaxActive > 0 && b.active >= q.opts.MaxActive {
+		// No rate hint applies: the slot frees when a job finishes, and
+		// job durations are the server's own histograms' business. One
+		// second is the conventional "poll again soon".
+		q.maybeDrop(tenant, b)
+		return nil, time.Second, false
+	}
+	if q.opts.RatePerSec > 0 && b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / q.opts.RatePerSec * float64(time.Second))
+		q.maybeDrop(tenant, b)
+		return nil, wait, false
+	}
+	if q.opts.RatePerSec > 0 {
+		b.tokens--
+	}
+	b.active++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			q.mu.Lock()
+			if cur := q.tenants[tenant]; cur != nil {
+				if cur.active > 0 {
+					cur.active--
+				}
+				q.maybeDrop(tenant, cur)
+			}
+			q.mu.Unlock()
+		})
+	}, 0, true
+}
+
+// maybeDrop forgets a tenant with no open accounting: nothing active
+// and a bucket that (given the refill already applied) is back at full
+// depth. Called under mu.
+func (q *quotaState) maybeDrop(tenant string, b *tenantBucket) {
+	if b.active != 0 {
+		return
+	}
+	if q.opts.RatePerSec > 0 && b.tokens < q.opts.burst() {
+		return
+	}
+	delete(q.tenants, tenant)
+}
+
+// activeTenants counts tenants with at least one queued or running
+// job (the comptest_tenants_active gauge).
+func (q *quotaState) activeTenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, b := range q.tenants {
+		if b.active > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// retryAfterSeconds renders a Retry-After header value: integral
+// seconds, rounded up, at least 1 (a zero hint would invite a busy
+// retry loop).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

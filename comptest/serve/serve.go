@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/comptest"
+	"repro/comptest/api"
 	"repro/comptest/explore"
 	"repro/comptest/mutation"
 	"repro/internal/ecu"
@@ -73,6 +74,36 @@ type Options struct {
 	// Objectives are the SLOs GET /slo evaluates by default; nil means
 	// DefaultObjectives. A request overrides both with ?objective=.
 	Objectives []obs.Objective
+	// Hooks observe job lifecycle and result persistence; the zero
+	// value observes nothing. The durable coordinator (comptest/dist)
+	// journals through these.
+	Hooks Hooks
+	// Quota, when any bound is set, layers per-tenant admission control
+	// on top of the queue's 503: a tenant over its active-job or
+	// submission-rate budget is rejected with 429 and a Retry-After
+	// hint. Tenancy is the JobSpec.Tenant field; the empty tenant is an
+	// account like any other.
+	Quota QuotaOptions
+}
+
+// Hooks are the server's persistence seam: callbacks fired at the
+// three points a durable layer must observe to rebuild a server's
+// state by replay. All callbacks may be invoked concurrently (from
+// handler and worker goroutines) and must not call back into the
+// Server. Jobs installed via Restore do NOT fire Accepted, and their
+// preloaded lines do not fire Line — replay must not re-journal
+// history.
+type Hooks struct {
+	// Accepted fires once per admitted job, after it is visible and
+	// enqueued. workbook is the resolved workbook text (the bytes the
+	// artifact was built from).
+	Accepted func(id string, spec JobSpec, workbook string)
+	// Line fires once per NDJSON line appended to a job's result log,
+	// in append order per job.
+	Line func(id string, line []byte)
+	// Finished fires once when a job reaches a terminal state, with
+	// its final status snapshot.
+	Finished func(st JobStatus)
 }
 
 // Executor runs one job to completion, streaming NDJSON result lines
@@ -87,6 +118,10 @@ type Executor func(ctx context.Context, ex Execution) (verdict string, err error
 // contract); the On* callbacks publish summaries into the job status
 // and may each be called multiple times (last call wins).
 type Execution struct {
+	// ID is the job's server-assigned identifier ("job-000042"). A
+	// persistent Executor (the durable dist coordinator) keys its
+	// journal records on it; empty for direct ExecuteLocal callers.
+	ID   string
 	Spec JobSpec
 	Art  *Artifact
 	Log  io.Writer
@@ -156,15 +191,18 @@ type Server struct {
 	queue  chan *Job
 	wg     sync.WaitGroup
 
-	metrics     *obs.Registry
-	now         func() time.Time
-	busy        atomic.Int64 // workers currently executing a job
-	units       *obs.Counter
-	streamBytes *obs.Counter
-	jobSeconds  *obs.Histogram
-	unitRate    *obs.Histogram
-	queueWait   *obs.Histogram
-	unitSeconds *obs.Histogram
+	metrics        *obs.Registry
+	now            func() time.Time
+	busy           atomic.Int64 // workers currently executing a job
+	units          *obs.Counter
+	streamBytes    *obs.Counter
+	jobSeconds     *obs.Histogram
+	unitRate       *obs.Histogram
+	queueWait      *obs.Histogram
+	unitSeconds    *obs.Histogram
+	mQuotaRejected *obs.Counter
+
+	quota *quotaState
 
 	mu     sync.Mutex
 	jobs   map[string]*Job // guarded by mu
@@ -191,6 +229,7 @@ func New(opts Options) *Server {
 		jobs:    map[string]*Job{},
 		metrics: opts.Metrics,
 		now:     opts.Now,
+		quota:   newQuotaState(opts.Quota),
 	}
 	s.registerMetrics(s.metrics)
 	for i := 0; i < opts.Workers; i++ {
@@ -282,7 +321,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed job spec: %v", err)
 		return
 	}
-	wb, err := spec.normalize()
+	wb, err := normalizeSpec(&spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%s", trimPrefix(err))
 		return
@@ -290,6 +329,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.Parallelism == 0 {
 		spec.Parallelism = s.opts.DefaultParallelism
 	}
+	// Per-tenant admission control sits before the expensive work
+	// (workbook parse, validation): a tenant over budget must not burn
+	// server CPU. The reserved slot is released when the job finishes —
+	// or right here if a later validation step rejects the submission.
+	quotaDone, retryAfter, ok := s.quota.admit(spec.Tenant, s.now())
+	if !ok {
+		s.mQuotaRejected.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q over quota; retry in %s", spec.Tenant, retryAfter.Round(time.Millisecond))
+		return
+	}
+	admitted := false
+	defer func() {
+		if !admitted {
+			quotaDone()
+		}
+	}()
 	// Validate the execution targets up front so a typo fails the
 	// submission, not the job: stand profile, DUT model, fault and
 	// oracle names.
@@ -329,7 +386,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cancel: jobCancel,
 		state:  StateQueued,
 	}
-	job.log.onAppend = s.noteLine
 	if spec.Trace {
 		job.trace = newResultLog()
 	}
@@ -339,6 +395,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		jobCancel()
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	// Capacity is checked (not raced) under mu: every queue send
+	// happens under this lock, so a non-full queue accepts without
+	// blocking — which lets the Accepted hook fire before the job can
+	// possibly run, keeping the journal's record order causal.
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		jobCancel()
+		writeError(w, http.StatusServiceUnavailable,
+			"job queue full (%d queued); retry later", s.opts.QueueDepth)
 		return
 	}
 	s.seq++
@@ -353,22 +420,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job.logger = slog.New(obs.Fanout(
 		slog.NewJSONHandler(job.events, nil), procHandler)).With("job", job.id)
-	select {
-	case s.queue <- job:
-	default:
-		s.seq-- // job was never admitted
-		s.mu.Unlock()
-		jobCancel()
-		writeError(w, http.StatusServiceUnavailable,
-			"job queue full (%d queued); retry later", s.opts.QueueDepth)
-		return
+	job.log.onAppend = func(line []byte) {
+		s.noteLine(len(line))
+		if h := s.opts.Hooks.Line; h != nil {
+			h(job.id, line)
+		}
 	}
+	job.onFinish = func() {
+		quotaDone()
+		if h := s.opts.Hooks.Finished; h != nil {
+			h(job.Status())
+		}
+	}
+	if h := s.opts.Hooks.Accepted; h != nil {
+		h(job.id, spec, wb)
+	}
+	s.queue <- job
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
+	admitted = true
 	s.mu.Unlock()
 
 	job.logger.Info("job accepted", "kind", spec.Kind, "workbook", art.Key,
-		"stand", spec.Stand, "dut", spec.DUT, "trace", spec.Trace)
+		"stand", spec.Stand, "dut", spec.DUT, "trace", spec.Trace, "tenant", spec.Tenant)
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
@@ -386,7 +460,7 @@ func (s *Server) evictTerminal() {
 	defer s.mu.Unlock()
 	terminal := 0
 	for _, id := range s.order {
-		if s.jobs[id].currentState().terminal() {
+		if api.Terminal(s.jobs[id].currentState()) {
 			terminal++
 		}
 	}
@@ -395,7 +469,7 @@ func (s *Server) evictTerminal() {
 	}
 	kept := s.order[:0]
 	for _, id := range s.order {
-		if terminal > s.opts.Retention && s.jobs[id].currentState().terminal() {
+		if terminal > s.opts.Retention && api.Terminal(s.jobs[id].currentState()) {
 			delete(s.jobs, id)
 			terminal--
 			continue
@@ -593,6 +667,7 @@ func (s *Server) runJob(job *Job) {
 	}()
 
 	ex := Execution{
+		ID:   job.id,
 		Spec: job.spec,
 		Art:  job.art,
 		Log:  job.log,

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/comptest/api"
 	"repro/internal/paper"
 	"repro/internal/report"
 	"repro/internal/script"
@@ -115,7 +116,7 @@ func (ts *testServer) wait(t *testing.T, id string) JobStatus {
 	t.Helper()
 	ts.stream(t, id)
 	st := ts.status(t, id)
-	if !st.State.terminal() {
+	if !api.Terminal(st.State) {
 		t.Fatalf("job %s not terminal after stream end: %s", id, st.State)
 	}
 	return st

@@ -98,7 +98,7 @@ func TestLoadStandConfig(t *testing.T) {
 	}
 }
 
-func TestRunWorkbookWithExplicitStandConfig(t *testing.T) {
+func TestRunPlanWithExplicitStandConfig(t *testing.T) {
 	// The complete paper pipeline against an explicit (non-registry)
 	// stand configuration — the WithStandConfig path end to end.
 	cfg, err := stand.PaperConfig(method.Builtin())
@@ -112,7 +112,15 @@ func TestRunWorkbookWithExplicitStandConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reps, err := r.RunWorkbook(context.Background(), paper.Workbook)
+	suite, err := comptest.LoadSuiteString(paper.Workbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := comptest.Compile(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := r.RunPlan(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}

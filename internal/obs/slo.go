@@ -2,10 +2,11 @@ package obs
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/comptest/api"
 )
 
 // Objective is one service-level objective: "the q-quantile of Metric
@@ -13,17 +14,10 @@ import (
 // snapshot's histogram families by bucket interpolation — the same
 // estimate Prometheus's histogram_quantile computes — so a fleet
 // snapshot (merged worker cells) answers for the whole deployment.
-type Objective struct {
-	Metric   string  `json:"metric"`
-	Quantile float64 `json:"quantile"`    // in (0, 1], e.g. 0.95
-	Max      float64 `json:"max_seconds"` // upper bound on the estimate
-}
-
-// String renders the objective in the spec syntax ParseObjective reads.
-func (o Objective) String() string {
-	return fmt.Sprintf("%s:p%s<=%s", o.Metric,
-		formatFloat(o.Quantile*100), formatFloat(o.Max))
-}
+// The type (with its String rendering) is canonical in comptest/api,
+// since objectives and their verdicts travel over the /slo endpoints;
+// the parsing and evaluation machinery lives here.
+type Objective = api.Objective
 
 // ParseObjective reads "metric:p95<=0.5" (or "<" — both mean the same
 // inclusive bound): the p-quantile of histogram `metric` must be at
@@ -134,23 +128,13 @@ func familyCell(s Snapshot, name string) (Cell, bool) {
 	return out, true
 }
 
-// SLOResult is one objective's verdict against a snapshot.
-type SLOResult struct {
-	Objective
-	// Estimate is the interpolated quantile in seconds; 0 with NoData
-	// set when the family has no samples (or is absent entirely).
-	Estimate float64 `json:"estimate_seconds"`
-	Count    int64   `json:"count"`
-	NoData   bool    `json:"no_data,omitempty"`
-	Pass     bool    `json:"pass"`
-}
-
-// SLOReport is the full evaluation: every objective's result and the
-// conjunction verdict.
-type SLOReport struct {
-	Results []SLOResult `json:"results"`
-	Pass    bool        `json:"pass"`
-}
+// SLOResult is one objective's verdict against a snapshot
+// (api.SLOResult); SLOReport the full evaluation with the conjunction
+// verdict (api.SLOReport, which carries the WriteText rendering).
+type (
+	SLOResult = api.SLOResult
+	SLOReport = api.SLOReport
+)
 
 // EvalSLO evaluates the objectives against the snapshot. An objective
 // whose metric has no samples yet passes vacuously (NoData marks it) —
@@ -180,31 +164,3 @@ func EvalSLO(snap Snapshot, objs []Objective) SLOReport {
 	return rep
 }
 
-// WriteText renders the report human-readably, one line per objective
-// and a closing verdict line.
-func (r SLOReport) WriteText(w io.Writer) error {
-	for _, res := range r.Results {
-		verdict := "pass"
-		if !res.Pass {
-			verdict = "FAIL"
-		}
-		var err error
-		if res.NoData {
-			_, err = fmt.Fprintf(w, "%s p%s: no data (objective <= %ss): %s\n",
-				res.Metric, formatFloat(res.Quantile*100), formatFloat(res.Max), verdict)
-		} else {
-			_, err = fmt.Fprintf(w, "%s p%s = %ss (%d samples, objective <= %ss): %s\n",
-				res.Metric, formatFloat(res.Quantile*100), formatFloat(res.Estimate),
-				res.Count, formatFloat(res.Max), verdict)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	verdict := "pass"
-	if !r.Pass {
-		verdict = "FAIL"
-	}
-	_, err := fmt.Fprintf(w, "SLO: %s\n", verdict)
-	return err
-}

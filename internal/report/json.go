@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/comptest/api"
 )
 
 // The JSON form of a report is the wire format of the campaign service
@@ -43,14 +45,10 @@ type jsonReport struct {
 // no report (unknown stand, stand construction failure, …): the
 // comptest.NDJSON sink emits it, the distributed merge layer rewrites
 // its Seq to the global unit numbering, and stream consumers detect it
-// by failing DecodeJSON first. One definition shared by all three so
-// the wire format cannot drift apart silently.
-type ErrorLine struct {
-	Seq    int    `json:"seq"`
-	Script string `json:"script,omitempty"`
-	Stand  string `json:"stand,omitempty"`
-	Error  string `json:"error"`
-}
+// by failing DecodeJSON first. Canonical in comptest/api (the public
+// wire-type package) and aliased here so the emitting, merging and
+// consuming layers cannot drift apart silently.
+type ErrorLine = api.ErrorLine
 
 // DecodeErrorLine parses one ErrorLine, rejecting unknown fields (a
 // report line must not half-decode as an error line).

@@ -23,6 +23,7 @@ type Merger struct {
 	mu      sync.Mutex
 	w       io.Writer
 	next    int
+	floor   int // sequences below floor were flushed pre-resume
 	pending map[int][]byte
 	seen    map[int]bool
 	written int
@@ -37,6 +38,20 @@ func NewMerger(w io.Writer) *Merger {
 	return &Merger{w: w, pending: map[int][]byte{}, seen: map[int]bool{}}
 }
 
+// ResumeMerger builds a Merger that continues an interrupted merge:
+// sequences below floor were already flushed to the stream by a
+// previous incarnation and are dropped as duplicates when shards
+// re-deliver them; the first line written goes to sequence floor. This
+// is the crash-recovery half of the exactly-once contract — the
+// journaled contiguous prefix stays written exactly once while every
+// re-adopted or re-run shard replays its full range.
+func ResumeMerger(w io.Writer, floor int) *Merger {
+	m := NewMerger(w)
+	m.next = floor
+	m.floor = floor
+	return m
+}
+
 // Add offers the line for global sequence seq. It returns true when
 // the line was accepted (written now or buffered until its turn) and
 // false for a duplicate of an already-accepted sequence. The first
@@ -47,7 +62,7 @@ func (m *Merger) Add(seq int, line []byte) (bool, error) {
 	if m.err != nil {
 		return false, m.err
 	}
-	if m.seen[seq] {
+	if seq < m.floor || m.seen[seq] {
 		m.dupes++
 		return false, nil
 	}
